@@ -1,0 +1,363 @@
+// Figure-regeneration benchmarks: one benchmark per figure/table of the
+// paper's evaluation (see DESIGN.md §4 for the index). Each benchmark
+// regenerates its figure's data series via internal/figures — the same
+// code path as cmd/figures — and reports the headline values as custom
+// benchmark metrics, so
+//
+//	go test -bench=Fig -benchmem
+//
+// reproduces the entire evaluation. Heavy model benchmarks run the full
+// walk-forward pipeline; with the default -benchtime they execute once.
+package nfvpredict
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/eval"
+	"nfvpredict/internal/figures"
+	"nfvpredict/internal/nfvsim"
+	"nfvpredict/internal/pipeline"
+	"nfvpredict/internal/ticket"
+)
+
+// statsEnv lazily generates the measurement-study fleet (38 vPEs + 8
+// pPEs over 18 months) shared by the Figure 1-3 benchmarks.
+var statsEnv struct {
+	once sync.Once
+	cfg  nfvsim.Config
+	tr   *nfvsim.Trace
+	ds   *pipeline.Dataset
+}
+
+func statsTrace(b *testing.B) (*nfvsim.Trace, nfvsim.Config) {
+	b.Helper()
+	statsEnv.once.Do(func() {
+		statsEnv.cfg = figures.StatsSimConfig()
+		d, err := nfvsim.New(statsEnv.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := d.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		statsEnv.tr = tr
+	})
+	if statsEnv.tr == nil {
+		b.Fatal("stats trace unavailable")
+	}
+	return statsEnv.tr, statsEnv.cfg
+}
+
+func statsDataset(b *testing.B) *pipeline.Dataset {
+	b.Helper()
+	tr, cfg := statsTrace(b)
+	if statsEnv.ds == nil {
+		statsEnv.ds = pipeline.BuildDataset(tr, cfg.Start, cfg.Months)
+	}
+	return statsEnv.ds
+}
+
+// modelEnv lazily builds the model fleet (10 vPEs over 10 months with an
+// update in month 7) shared by the Figure 5-8 benchmarks.
+var modelEnv struct {
+	once sync.Once
+	cfg  nfvsim.Config
+	pcfg pipeline.Config
+	ds   *pipeline.Dataset
+}
+
+func modelDataset(b *testing.B) (*pipeline.Dataset, pipeline.Config, nfvsim.Config) {
+	b.Helper()
+	modelEnv.once.Do(func() {
+		modelEnv.cfg = figures.ModelSimConfig()
+		modelEnv.pcfg = figures.ModelPipelineConfig()
+		d, err := nfvsim.New(modelEnv.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := d.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		modelEnv.ds = pipeline.BuildDataset(tr, modelEnv.cfg.Start, modelEnv.cfg.Months)
+	})
+	if modelEnv.ds == nil {
+		b.Fatal("model dataset unavailable")
+	}
+	return modelEnv.ds, modelEnv.pcfg, modelEnv.cfg
+}
+
+// BenchmarkFig1aTicketTypes regenerates Figure 1(a): the monthly mix of
+// ticket root causes. Reported metric: maintenance share (paper: the
+// dominant category).
+func BenchmarkFig1aTicketTypes(b *testing.B) {
+	tr, cfg := statsTrace(b)
+	var maintShare float64
+	for i := 0; i < b.N; i++ {
+		rows := figures.Fig1a(io.Discard, tr, cfg.Start, cfg.Months)
+		var maint, total int
+		for _, mb := range rows {
+			maint += mb.Counts[ticket.Maintenance]
+			total += mb.Total
+		}
+		maintShare = float64(maint) / float64(total)
+	}
+	b.ReportMetric(maintShare, "maint-share")
+}
+
+// BenchmarkFig1bInterArrival regenerates Figure 1(b): the CDF of
+// non-duplicated ticket inter-arrival. Reported metrics: the paper's
+// three checkpoints.
+func BenchmarkFig1bInterArrival(b *testing.B) {
+	tr, _ := statsTrace(b)
+	var cps [3]float64
+	for i := 0; i < b.N; i++ {
+		_, cps = figures.Fig1b(io.Discard, tr)
+	}
+	b.ReportMetric(cps[0], "under-40min")
+	b.ReportMetric(cps[1], "over-10h")
+	b.ReportMetric(cps[2], "over-1000h")
+}
+
+// BenchmarkFig2TicketMatrix regenerates Figure 2: ticket occurrences
+// across time and vPEs. Reported metric: the max vPEs sharing one day bin
+// (the fleet-wide core-router incidents).
+func BenchmarkFig2TicketMatrix(b *testing.B) {
+	tr, cfg := statsTrace(b)
+	var maxBin int
+	for i := 0; i < b.N; i++ {
+		_, maxBin = figures.Fig2(io.Discard, tr, cfg.Start, cfg.Months)
+	}
+	b.ReportMetric(float64(maxBin), "max-vpes-per-bin")
+}
+
+// BenchmarkFig3CosineSimilarity regenerates Figure 3: per-vPE cosine
+// similarity to the fleet aggregate. Reported metrics: fraction of vPEs
+// above 0.8 (paper ~1/3) and count below 0.5 (paper: 5).
+func BenchmarkFig3CosineSimilarity(b *testing.B) {
+	ds := statsDataset(b)
+	var above08, below05 int
+	var n int
+	for i := 0; i < b.N; i++ {
+		medians := figures.Fig3(io.Discard, ds)
+		above08, below05, n = 0, 0, len(medians)
+		for _, m := range medians {
+			if m > 0.8 {
+				above08++
+			}
+			if m < 0.5 {
+				below05++
+			}
+		}
+	}
+	b.ReportMetric(float64(above08)/float64(n), "frac-above-0.8")
+	b.ReportMetric(float64(below05), "vpes-below-0.5")
+}
+
+// BenchmarkUpdateShift regenerates the §3.3 observation: month-over-month
+// cosine similarity collapses at the system update.
+func BenchmarkUpdateShift(b *testing.B) {
+	ds := statsDataset(b)
+	tr, cfg := statsTrace(b)
+	var pre, at float64
+	for i := 0; i < b.N; i++ {
+		pre, at = figures.UpdateShift(io.Discard, ds, tr, cfg.UpdateMonth)
+	}
+	b.ReportMetric(pre, "pre-update-min-cos")
+	b.ReportMetric(at, "pre-vs-post-cos")
+}
+
+// BenchmarkVPEvsPPEVolume regenerates the §2 observation: vPE syslogs are
+// ~77% smaller than pPE syslogs.
+func BenchmarkVPEvsPPEVolume(b *testing.B) {
+	tr, _ := statsTrace(b)
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		reduction = figures.Volume(io.Discard, tr)
+	}
+	b.ReportMetric(reduction, "vpe-volume-reduction")
+}
+
+// BenchmarkFig5PRCWindows regenerates Figure 5: PRCs for 1 h / 1 day /
+// 2 day predictive windows (paper: converges at 1 day; operating point
+// P=0.80 R=0.81).
+func BenchmarkFig5PRCWindows(b *testing.B) {
+	ds, pcfg, _ := modelDataset(b)
+	var best map[time.Duration]eval.PRPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		best, err = figures.Fig5(io.Discard, ds, pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(best[time.Hour].F, "F-1h")
+	b.ReportMetric(best[24*time.Hour].F, "F-1day")
+	b.ReportMetric(best[48*time.Hour].F, "F-2day")
+	b.ReportMetric(best[24*time.Hour].Precision, "P-1day")
+	b.ReportMetric(best[24*time.Hour].Recall, "R-1day")
+	b.ReportMetric(best[24*time.Hour].FalseAlarmsPerDay, "fa-per-day")
+}
+
+// BenchmarkFig6Methods regenerates Figure 6: LSTM vs Autoencoder vs
+// one-class SVM, all with customization+adaptation (paper: LSTM P≈0.82 >
+// AE P≈0.77 >> OC-SVM).
+func BenchmarkFig6Methods(b *testing.B) {
+	ds, pcfg, _ := modelDataset(b)
+	var best map[pipeline.Method]eval.PRPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		best, err = figures.Fig6(io.Discard, ds, pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(best[pipeline.MethodLSTM].F, "F-lstm")
+	b.ReportMetric(best[pipeline.MethodAutoencoder].F, "F-autoencoder")
+	b.ReportMetric(best[pipeline.MethodOCSVM].F, "F-ocsvm")
+	b.ReportMetric(best[pipeline.MethodLSTM].Precision, "P-lstm")
+	b.ReportMetric(best[pipeline.MethodAutoencoder].Precision, "P-autoencoder")
+}
+
+// BenchmarkFig7Components regenerates Figure 7: monthly F-measure of the
+// three system variants across the horizon, including the update dip and
+// the adaptation recovery.
+func BenchmarkFig7Components(b *testing.B) {
+	ds, pcfg, simCfg := modelDataset(b)
+	var series map[pipeline.Variant][]pipeline.MonthMetrics
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = figures.Fig7(io.Discard, ds, pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Mean F after the update month: the adaptation gain.
+	meanAfter := func(v pipeline.Variant) float64 {
+		var s float64
+		var n int
+		for _, mm := range series[v] {
+			if mm.Index > simCfg.UpdateMonth {
+				s += mm.Best.F
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return s / float64(n)
+	}
+	b.ReportMetric(meanAfter(pipeline.Baseline), "post-update-F-baseline")
+	b.ReportMetric(meanAfter(pipeline.Customized), "post-update-F-cust")
+	b.ReportMetric(meanAfter(pipeline.CustomizedAdaptive), "post-update-F-adapt")
+}
+
+// BenchmarkFig8TicketTypes regenerates Figure 8: detection rates per
+// root cause at the five lead-time offsets (paper @0min: Circuit 0.74 >
+// Software 0.55 > Cable 0.40 > Hardware 0.28; ALL @+15min ≈ 0.80).
+func BenchmarkFig8TicketTypes(b *testing.B) {
+	ds, pcfg, _ := modelDataset(b)
+	var tds []eval.TypeDetection
+	for i := 0; i < b.N; i++ {
+		var err error
+		tds, err = figures.Fig8(io.Discard, ds, pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, td := range tds {
+		if td.All {
+			b.ReportMetric(td.Rates[4], "ALL-at-plus15min")
+			continue
+		}
+		switch td.Cause {
+		case ticket.Circuit:
+			b.ReportMetric(td.Rates[2], "circuit-at-0min")
+		case ticket.Hardware:
+			b.ReportMetric(td.Rates[2], "hardware-at-0min")
+		case ticket.Software:
+			b.ReportMetric(td.Rates[2], "software-at-0min")
+		case ticket.Cable:
+			b.ReportMetric(td.Rates[2], "cable-at-0min")
+		}
+	}
+}
+
+// BenchmarkTrainingDataReduction regenerates the §5.2 reductions:
+// clustering (initial training 3 months → 1 month) and transfer learning
+// (update recovery 3 months → 1 week). It uses its own fleet with an
+// early update so three months of post-update data exist for the
+// scratch-retrain arms.
+func BenchmarkTrainingDataReduction(b *testing.B) {
+	simCfg := figures.ReductionSimConfig()
+	pcfg := figures.ModelPipelineConfig()
+	d, err := nfvsim.New(simCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := d.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := pipeline.BuildDataset(tr, simCfg.Start, simCfg.Months)
+	var clusterRows, adaptRows []pipeline.ExperimentRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		clusterRows, adaptRows, err = figures.Reduction(io.Discard, ds, pcfg, simCfg.UpdateMonth-1, simCfg.UpdateMonth)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range clusterRows {
+		switch r.Label {
+		case "per-vPE 1mo":
+			b.ReportMetric(r.Best.F, "F-pervpe-1mo")
+		case "per-vPE 3mo":
+			b.ReportMetric(r.Best.F, "F-pervpe-3mo")
+		default:
+			if len(r.Label) > 9 && r.Label[:9] == "clustered" {
+				b.ReportMetric(r.Best.F, "F-clustered-1mo")
+			}
+		}
+	}
+	for _, r := range adaptRows {
+		switch r.Label {
+		case "teacher (no recovery)":
+			b.ReportMetric(r.Best.F, "F-no-recovery")
+		case "transfer adapt 1wk":
+			b.ReportMetric(r.Best.F, "F-adapt-1wk")
+		case "retrain 1wk":
+			b.ReportMetric(r.Best.F, "F-retrain-1wk")
+		case "retrain 2mo":
+			b.ReportMetric(r.Best.F, "F-retrain-2mo")
+		}
+	}
+}
+
+// BenchmarkEndToEndSmallFleet measures the full public-API path (simulate
+// → dataset → walk-forward analysis) on the small example fleet.
+func BenchmarkEndToEndSmallFleet(b *testing.B) {
+	simCfg := SmallSimConfig()
+	simCfg.NumVPEs = 4
+	simCfg.Months = 3
+	simCfg.UpdateMonth = -1
+	cfg := DefaultConfig()
+	cfg.LSTM.Hidden = []int{16}
+	cfg.LSTM.Epochs = 1
+	cfg.LSTM.OverSampleRounds = 0
+	cfg.LSTM.MaxWindowsPerEpoch = 500
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trace, err := Simulate(simCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := AnalyzeTrace(trace, simCfg.Start, simCfg.Months, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command loggen generates a synthetic NFV deployment trace — the
+// substitute for the paper's proprietary 18-month vPE dataset — and writes
+// it to disk: syslog as JSONL (one message per line) and tickets as CSV.
+//
+// Usage:
+//
+//	loggen -out trace.jsonl -tickets tickets.csv -vpes 38 -months 18 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/nfvsim"
+	"nfvpredict/internal/ticket"
+)
+
+func main() {
+	out := flag.String("out", "trace.jsonl", "syslog output file (JSONL)")
+	ticketsOut := flag.String("tickets", "tickets.csv", "tickets output file (CSV)")
+	vpes := flag.Int("vpes", 38, "number of vPEs")
+	ppes := flag.Int("ppes", 0, "number of pPEs (volume-comparison fleet)")
+	months := flag.Int("months", 18, "horizon in months")
+	rate := flag.Float64("rate", 1.5, "mean normal messages per hour per vPE")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	updateMonth := flag.Int("update-month", 14, "system-update month (-1 disables)")
+	flag.Parse()
+
+	if err := run(*out, *ticketsOut, *vpes, *ppes, *months, *rate, *seed, *updateMonth); err != nil {
+		fmt.Fprintln(os.Stderr, "loggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, ticketsOut string, vpes, ppes, months int, rate float64, seed int64, updateMonth int) error {
+	cfg := nfvsim.DefaultConfig()
+	cfg.NumVPEs = vpes
+	cfg.NumPPEs = ppes
+	cfg.Months = months
+	cfg.BaseRatePerHour = rate
+	cfg.Seed = seed
+	cfg.UpdateMonth = updateMonth
+
+	start := time.Now()
+	d, err := nfvsim.New(cfg)
+	if err != nil {
+		return err
+	}
+	tr, err := d.Generate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d messages, %d tickets in %v\n",
+		len(tr.Messages), len(tr.Tickets), time.Since(start).Round(time.Millisecond))
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := logfmt.NewWriter(f)
+	for i := range tr.Messages {
+		if err := w.Write(&tr.Messages[i]); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote syslog to %s\n", out)
+
+	tf, err := os.Create(ticketsOut)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := ticket.WriteCSV(tf, tr.Tickets); err != nil {
+		return err
+	}
+	fmt.Printf("wrote tickets to %s\n", ticketsOut)
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command nfvmonitor is the runtime deployment mode of the reproduction:
+// it bootstraps the detector on a simulated fleet (standing in for a
+// training archive), then listens for live syslog on UDP/TCP and prints a
+// warning signature whenever a vPE emits a cluster of anomalous messages
+// (§5.1's ≥2-within-a-minute rule).
+//
+// Usage:
+//
+//	nfvmonitor -udp 127.0.0.1:5514 -tcp 127.0.0.1:5514 -threshold 6
+//
+// Point any RFC 3164 syslog sender at it, e.g.:
+//
+//	logger -n 127.0.0.1 -P 5514 --rfc3164 -t rpd "invalid response from peer chassis-control"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"nfvpredict"
+	"nfvpredict/internal/bundle"
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/ingest"
+	"nfvpredict/internal/pipeline"
+	"nfvpredict/internal/sigtree"
+)
+
+func main() {
+	udp := flag.String("udp", "127.0.0.1:5514", "UDP listen address (empty disables)")
+	tcp := flag.String("tcp", "", "TCP listen address (empty disables)")
+	threshold := flag.Float64("threshold", 6, "anomaly threshold (negative log-likelihood; overridden by a bundle's recommendation)")
+	year := flag.Int("year", time.Now().Year(), "year for RFC 3164 timestamps")
+	seed := flag.Int64("seed", 1, "bootstrap-simulation seed (when no -model)")
+	model := flag.String("model", "", "trained bundle from cmd/nfvtrain (empty: bootstrap on simulation)")
+	flag.Parse()
+
+	if err := run(*udp, *tcp, *threshold, *year, *seed, *model); err != nil {
+		fmt.Fprintln(os.Stderr, "nfvmonitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(udp, tcp string, threshold float64, year int, seed int64, model string) error {
+	var tree *sigtree.Tree
+	var resolve func(string) *detect.LSTMDetector
+	if model != "" {
+		f, err := os.Open(model)
+		if err != nil {
+			return err
+		}
+		b, err := bundle.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		tree = b.Tree
+		resolve = b.DetectorFor
+		if b.Threshold > 0 {
+			threshold = b.Threshold
+		}
+		fmt.Printf("loaded bundle %s: %d detectors, %d templates, threshold %.3f\n",
+			model, len(b.Detectors), tree.Len(), threshold)
+	} else {
+		// Bootstrap: train on a simulated month of normal fleet traffic.
+		fmt.Println("bootstrapping detector on simulated training archive...")
+		simCfg := nfvpredict.SmallSimConfig()
+		simCfg.Seed = seed
+		simCfg.Months = 1
+		simCfg.UpdateMonth = -1
+		trace, err := nfvpredict.Simulate(simCfg)
+		if err != nil {
+			return err
+		}
+		ds := pipeline.BuildDataset(trace, simCfg.Start, simCfg.Months)
+		var streams [][]features.Event
+		for _, v := range ds.VPEs {
+			if ev := ds.CleanEvents(v, ds.MonthStart(0), ds.MonthStart(1), 72*time.Hour); len(ev) > 0 {
+				streams = append(streams, ev)
+			}
+		}
+		det := detect.NewLSTMDetector(detect.DefaultLSTMConfig())
+		if err := det.Train(streams); err != nil {
+			return err
+		}
+		fmt.Printf("detector trained on %d vPE streams, %d templates known\n", len(streams), ds.Tree.Len())
+		tree = ds.Tree
+		resolve = func(string) *detect.LSTMDetector { return det }
+	}
+
+	mcfg := ingest.DefaultMonitorConfig()
+	mcfg.Threshold = threshold
+	mon := ingest.NewMonitorWithResolver(mcfg, tree, resolve, func(w nfvpredict.Warning) {
+		fmt.Printf("%s WARNING vpe=%s anomalies=%d first=%s\n",
+			time.Now().Format(time.RFC3339), w.VPE, w.Size, w.Time.Format(time.RFC3339))
+	})
+
+	scfg := ingest.DefaultServerConfig()
+	scfg.UDPAddr, scfg.TCPAddr, scfg.Year = udp, tcp, year
+	srv, err := ingest.NewServer(scfg, mon.HandleMessage)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	srv.Start(ctx)
+	defer srv.Close()
+	if a := srv.UDPAddr(); a != nil {
+		fmt.Println("listening UDP", a)
+	}
+	if a := srv.TCPAddr(); a != nil {
+		fmt.Println("listening TCP", a)
+	}
+
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			msgs, anoms := mon.Counters()
+			st := srv.Stats()
+			fmt.Printf("\nshutting down: %d messages (%d malformed, %d dropped), %d anomalies, %d warnings\n",
+				msgs, st.Malformed, st.Dropped, anoms, len(mon.Warnings()))
+			return nil
+		case <-ticker.C:
+			msgs, anoms := mon.Counters()
+			fmt.Printf("status: messages=%d anomalies=%d warnings=%d\n", msgs, anoms, len(mon.Warnings()))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command nfvpredict runs the paper's full offline analysis end to end on
+// a simulated deployment: template extraction, vPE clustering, per-cluster
+// LSTM training, walk-forward monthly evaluation with drift-triggered
+// transfer-learning adaptation, and the final report (operating point,
+// monthly F-measure series, Figure 8 table).
+//
+// Usage:
+//
+//	nfvpredict -vpes 10 -months 10 -variant adapt -method lstm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nfvpredict"
+)
+
+func main() {
+	vpes := flag.Int("vpes", 10, "number of vPEs")
+	months := flag.Int("months", 8, "horizon in months")
+	rate := flag.Float64("rate", 1.2, "mean normal messages per hour per vPE")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	updateMonth := flag.Int("update-month", 5, "system-update month (-1 disables)")
+	variant := flag.String("variant", "adapt", "system variant: baseline|cust|adapt")
+	method := flag.String("method", "lstm", "detector: lstm|autoencoder|ocsvm")
+	flag.Parse()
+
+	if err := run(*vpes, *months, *rate, *seed, *updateMonth, *variant, *method); err != nil {
+		fmt.Fprintln(os.Stderr, "nfvpredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(vpes, months int, rate float64, seed int64, updateMonth int, variant, method string) error {
+	simCfg := nfvpredict.DefaultSimConfig()
+	simCfg.NumVPEs = vpes
+	simCfg.Months = months
+	simCfg.BaseRatePerHour = rate
+	simCfg.Seed = seed
+	simCfg.UpdateMonth = updateMonth
+
+	cfg := nfvpredict.DefaultConfig()
+	switch variant {
+	case "baseline":
+		cfg.Variant = nfvpredict.Baseline
+	case "cust":
+		cfg.Variant = nfvpredict.Customized
+	case "adapt":
+		cfg.Variant = nfvpredict.CustomizedAdaptive
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+	switch method {
+	case "lstm":
+		cfg.Method = nfvpredict.MethodLSTM
+	case "autoencoder":
+		cfg.Method = nfvpredict.MethodAutoencoder
+	case "ocsvm":
+		cfg.Method = nfvpredict.MethodOCSVM
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+
+	fmt.Printf("simulating %d vPEs over %d months (seed %d)...\n", vpes, months, seed)
+	t0 := time.Now()
+	trace, err := nfvpredict.Simulate(simCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d messages, %d tickets (%v)\n",
+		len(trace.Messages), len(trace.Tickets), time.Since(t0).Round(time.Millisecond))
+
+	t0 = time.Now()
+	sys, err := nfvpredict.AnalyzeTrace(trace, simCfg.Start, simCfg.Months, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analysis complete in %v\n\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Print(sys.Report())
+	return nil
+}

@@ -1,0 +1,154 @@
+// Command nfvtrain trains a deployable model bundle — signature tree,
+// per-cluster LSTM detectors, cluster assignment, and a recommended
+// operating threshold — from a recorded trace (JSONL syslog + CSV tickets,
+// as written by cmd/loggen). cmd/nfvmonitor serves the bundle against live
+// syslog.
+//
+// Usage:
+//
+//	nfvtrain -trace trace.jsonl -tickets tickets.csv -out model.bundle \
+//	         -start 2016-10-01 -months 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nfvpredict/internal/bundle"
+	"nfvpredict/internal/cluster"
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/eval"
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/pipeline"
+	"nfvpredict/internal/ticket"
+)
+
+func main() {
+	tracePath := flag.String("trace", "trace.jsonl", "syslog trace (JSONL)")
+	ticketsPath := flag.String("tickets", "tickets.csv", "tickets (CSV)")
+	out := flag.String("out", "model.bundle", "output bundle path")
+	startStr := flag.String("start", "", "trace start (YYYY-MM-DD; default: first message day)")
+	months := flag.Int("months", 1, "months of data to train on")
+	kMax := flag.Int("kmax", 8, "max clusters for modularity selection")
+	flag.Parse()
+
+	if err := run(*tracePath, *ticketsPath, *out, *startStr, *months, *kMax); err != nil {
+		fmt.Fprintln(os.Stderr, "nfvtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, ticketsPath, out, startStr string, months, kMax int) error {
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	msgs, err := logfmt.NewReader(tf).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(msgs) == 0 {
+		return fmt.Errorf("no messages in %s", tracePath)
+	}
+	kf, err := os.Open(ticketsPath)
+	if err != nil {
+		return err
+	}
+	defer kf.Close()
+	tickets, err := ticket.ReadCSV(kf)
+	if err != nil {
+		return err
+	}
+
+	start := msgs[0].Time.Truncate(24 * time.Hour)
+	if startStr != "" {
+		start, err = time.Parse("2006-01-02", startStr)
+		if err != nil {
+			return fmt.Errorf("parsing -start: %w", err)
+		}
+	}
+	hosts := map[string]bool{}
+	for i := range msgs {
+		hosts[msgs[i].Host] = true
+	}
+	var vpes []string
+	for h := range hosts {
+		vpes = append(vpes, h)
+	}
+	fmt.Printf("loaded %d messages from %d hosts, %d tickets\n", len(msgs), len(vpes), len(tickets))
+
+	ds := pipeline.BuildDatasetFromMessages(msgs, tickets, vpes, start, months)
+	cfg := pipeline.DefaultConfig()
+	cfg.KMax = kMax
+
+	// Cluster on the first month's histograms.
+	hists := make(map[string]cluster.Histogram, len(ds.VPEs))
+	for _, v := range ds.VPEs {
+		hists[v] = ds.MonthHistogram(v, 0)
+	}
+	cl, err := cluster.SelectK(hists, cfg.KMin, cfg.KMax, cfg.ClusterDim, cfg.LSTM.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clustered %d vPEs into K=%d groups\n", len(ds.VPEs), cl.K)
+
+	// Train one detector per cluster on all clean data in range.
+	b := &bundle.Bundle{Tree: ds.Tree, Assign: cl.Assign}
+	var allScored []detect.ScoredEvent
+	endTrain := ds.MonthStart(months)
+	for ci := 0; ci < cl.K; ci++ {
+		var streams [][]features.Event
+		for _, v := range cl.Members(ci) {
+			if ev := ds.CleanEvents(v, ds.MonthStart(0), endTrain, cfg.TrainExclusion); len(ev) > 0 {
+				streams = append(streams, ev)
+			}
+		}
+		lcfg := cfg.LSTM
+		lcfg.Seed += int64(ci) * 101
+		det := detect.NewLSTMDetector(lcfg)
+		if len(streams) == 0 {
+			fmt.Printf("cluster %d: no clean training data, skipping\n", ci)
+			b.Detectors = append(b.Detectors, det)
+			continue
+		}
+		t0 := time.Now()
+		if err := det.Train(streams); err != nil {
+			return fmt.Errorf("training cluster %d: %w", ci, err)
+		}
+		fmt.Printf("cluster %d: trained on %d streams in %v\n", ci, len(streams), time.Since(t0).Round(time.Millisecond))
+		b.Detectors = append(b.Detectors, det)
+		// Score the training range to place the operating threshold.
+		for _, v := range cl.Members(ci) {
+			allScored = append(allScored, det.Score(v, ds.RangeEvents(v, ds.MonthStart(0), endTrain))...)
+		}
+	}
+
+	// Operating threshold: best F over the training range when tickets
+	// are available, else a high quantile of the score distribution.
+	if len(tickets) > 0 && len(allScored) > 0 {
+		thrs := detect.ThresholdSweep(allScored, cfg.SweepPoints)
+		curve := eval.PRCurve(allScored, tickets, thrs, cfg.Eval, ds.MonthStart(0), endTrain)
+		best := eval.BestF(curve)
+		b.Threshold = best.Threshold
+		fmt.Printf("operating threshold %.3f (training-range P=%.2f R=%.2f F=%.2f)\n",
+			best.Threshold, best.Precision, best.Recall, best.F)
+	} else if len(allScored) > 0 {
+		b.Threshold = detect.ScoreQuantile(allScored, 0.999)
+		fmt.Printf("operating threshold %.3f (99.9th percentile of training scores)\n", b.Threshold)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := b.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote bundle to %s\n", out)
+	return nil
+}

@@ -1,0 +1,99 @@
+// Command replaylog replays a recorded JSONL syslog trace against a live
+// syslog endpoint (such as cmd/nfvmonitor) over UDP or TCP, optionally
+// compressing time by a speedup factor — the standard way to exercise the
+// runtime monitor with a realistic workload.
+//
+// Usage:
+//
+//	replaylog -trace trace.jsonl -addr 127.0.0.1:5514 -proto udp -speedup 0
+//
+// A speedup of 0 replays as fast as pacing allows; a speedup of 3600
+// compresses an hour of trace time into one second of wall time.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"nfvpredict/internal/logfmt"
+)
+
+func main() {
+	tracePath := flag.String("trace", "trace.jsonl", "syslog trace (JSONL)")
+	addr := flag.String("addr", "127.0.0.1:5514", "destination address")
+	proto := flag.String("proto", "udp", "udp or tcp")
+	speedup := flag.Float64("speedup", 0, "trace-time compression factor; 0 = as fast as possible")
+	limit := flag.Int("limit", 0, "max messages to send (0 = all)")
+	flag.Parse()
+
+	if err := run(*tracePath, *addr, *proto, *speedup, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "replaylog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, addr, proto string, speedup float64, limit int) error {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	msgs, err := logfmt.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+	if limit > 0 && len(msgs) > limit {
+		msgs = msgs[:limit]
+	}
+	if len(msgs) == 0 {
+		return fmt.Errorf("no messages in %s", tracePath)
+	}
+
+	conn, err := net.Dial(proto, addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+
+	start := time.Now()
+	traceStart := msgs[0].Time
+	sent := 0
+	for i := range msgs {
+		m := &msgs[i]
+		if speedup > 0 {
+			due := start.Add(time.Duration(float64(m.Time.Sub(traceStart)) / speedup))
+			if d := time.Until(due); d > 0 {
+				w.Flush()
+				time.Sleep(d)
+			}
+		} else if sent%200 == 0 && proto == "udp" {
+			// UDP has no backpressure; pace full-speed bursts.
+			w.Flush()
+			time.Sleep(2 * time.Millisecond)
+		}
+		line := m.Format3164()
+		if proto == "tcp" {
+			// RFC 6587 octet counting.
+			if _, err := fmt.Fprintf(w, "%d %s", len(line), line); err != nil {
+				return err
+			}
+		} else {
+			w.Flush() // one datagram per message
+			if _, err := conn.Write([]byte(line)); err != nil {
+				return err
+			}
+		}
+		sent++
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d messages (%s trace time) in %v\n",
+		sent, msgs[len(msgs)-1].Time.Sub(traceStart).Round(time.Second), time.Since(start).Round(time.Millisecond))
+	return nil
+}

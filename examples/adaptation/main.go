@@ -1,0 +1,53 @@
+// Adaptation: the §4.3 system-update scenario in isolation. A model is
+// trained on the pre-update regime; the simulated fleet then receives a
+// disruptive software update that changes its syslog distribution. The
+// example quantifies the false-alarm storm on an obsolete model and
+// compares three recoveries: transfer-learning adaptation on one week of
+// data (the paper's method), scratch retraining on the same week, and
+// scratch retraining on two months.
+//
+// Run with:
+//
+//	go run ./examples/adaptation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nfvpredict"
+)
+
+func main() {
+	simCfg := nfvpredict.SmallSimConfig()
+	simCfg.NumVPEs = 8
+	simCfg.Months = 7
+	simCfg.UpdateMonth = 2
+	simCfg.UpdateFraction = 1.0
+	trace, err := nfvpredict.Simulate(simCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := nfvpredict.NewDataset(trace, simCfg.Start, simCfg.Months)
+	fmt.Printf("fleet: %d vPEs, %d months, system update rolling out in month %d\n",
+		simCfg.NumVPEs, simCfg.Months, simCfg.UpdateMonth)
+	fmt.Printf("updated vPEs: %d of %d\n\n", len(trace.UpdateTimes), simCfg.NumVPEs)
+
+	cfg := nfvpredict.DefaultConfig()
+	cfg.LSTM.Hidden = []int{20}
+	cfg.LSTM.MaxWindowsPerEpoch = 1500
+
+	rows, err := nfvpredict.AdaptRecoverySweep(ds, cfg, simCfg.UpdateMonth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recovery strategies evaluated on a fully post-update month:")
+	fmt.Printf("%-24s %12s %8s %8s %8s\n", "strategy", "train-events", "P", "R", "F")
+	for _, r := range rows {
+		fmt.Printf("%-24s %12d %8.2f %8.2f %8.2f\n",
+			r.Label, r.TrainEvents, r.Best.Precision, r.Best.Recall, r.Best.F)
+	}
+	fmt.Println("\npaper §4.3/§5.2: the obsolete model's false alarms grow ~14x after the update;")
+	fmt.Println("transfer learning recovers with 1 week of data instead of the ~3 months a scratch")
+	fmt.Println("retrain needs to collect.")
+}

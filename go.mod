@@ -1,0 +1,3 @@
+module nfvpredict
+
+go 1.22

@@ -1,0 +1,101 @@
+// Package bundle packages a trained deployment — the grown signature tree
+// plus one trained LSTM detector per cluster and the cluster assignment —
+// into a single file, closing the offline→online loop: cmd/nfvtrain
+// produces a bundle from a recorded trace and cmd/nfvmonitor serves it
+// against live syslog.
+package bundle
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/sigtree"
+)
+
+// Bundle is a deployable trained system.
+type Bundle struct {
+	// Tree is the signature tree grown during training.
+	Tree *sigtree.Tree
+	// Detectors holds one trained LSTM detector per cluster.
+	Detectors []*detect.LSTMDetector
+	// Assign maps each vPE hostname to its cluster index. Hosts not in
+	// the map (new routers) fall back to cluster 0.
+	Assign map[string]int
+	// Threshold is the recommended operating threshold (best-F from the
+	// training evaluation).
+	Threshold float64
+}
+
+// DetectorFor returns the detector responsible for host.
+func (b *Bundle) DetectorFor(host string) *detect.LSTMDetector {
+	if len(b.Detectors) == 0 {
+		return nil
+	}
+	ci, ok := b.Assign[host]
+	if !ok || ci < 0 || ci >= len(b.Detectors) {
+		ci = 0
+	}
+	return b.Detectors[ci]
+}
+
+// wire is the gob form: nested gob blobs keep the component formats
+// independent of the bundle layout.
+type wire struct {
+	Tree      []byte
+	Detectors [][]byte
+	Assign    map[string]int
+	Threshold float64
+}
+
+// Save serializes the bundle to w.
+func (b *Bundle) Save(w io.Writer) error {
+	if b.Tree == nil || len(b.Detectors) == 0 {
+		return fmt.Errorf("bundle: tree and at least one detector required")
+	}
+	var wf wire
+	var buf bytes.Buffer
+	if err := b.Tree.Save(&buf); err != nil {
+		return fmt.Errorf("bundle: saving tree: %w", err)
+	}
+	wf.Tree = append([]byte(nil), buf.Bytes()...)
+	for i, d := range b.Detectors {
+		buf.Reset()
+		if err := d.Save(&buf); err != nil {
+			return fmt.Errorf("bundle: saving detector %d: %w", i, err)
+		}
+		wf.Detectors = append(wf.Detectors, append([]byte(nil), buf.Bytes()...))
+	}
+	wf.Assign = b.Assign
+	wf.Threshold = b.Threshold
+	if err := gob.NewEncoder(w).Encode(&wf); err != nil {
+		return fmt.Errorf("bundle: encoding: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a bundle saved with Save.
+func Load(r io.Reader) (*Bundle, error) {
+	var wf wire
+	if err := gob.NewDecoder(r).Decode(&wf); err != nil {
+		return nil, fmt.Errorf("bundle: decoding: %w", err)
+	}
+	tree, err := sigtree.Load(bytes.NewReader(wf.Tree))
+	if err != nil {
+		return nil, fmt.Errorf("bundle: loading tree: %w", err)
+	}
+	b := &Bundle{Tree: tree, Assign: wf.Assign, Threshold: wf.Threshold}
+	for i, raw := range wf.Detectors {
+		d, err := detect.LoadLSTMDetector(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("bundle: loading detector %d: %w", i, err)
+		}
+		b.Detectors = append(b.Detectors, d)
+	}
+	if len(b.Detectors) == 0 {
+		return nil, fmt.Errorf("bundle: no detectors")
+	}
+	return b, nil
+}

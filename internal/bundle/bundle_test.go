@@ -1,0 +1,102 @@
+package bundle
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/sigtree"
+)
+
+func trainedBundle(t *testing.T) *Bundle {
+	t.Helper()
+	tree := sigtree.New()
+	texts := []string{
+		"bgp keepalive exchanged with peer 10.0.0.1 hold 90",
+		"interface statistics poll completed for ge-0/0/1 in 12 ms",
+		"fpc 0 cpu utilization 20 percent memory 40 percent",
+	}
+	base := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	var stream []features.Event
+	for i := 0; i < 600; i++ {
+		tpl := tree.Learn(texts[i%len(texts)])
+		stream = append(stream, features.Event{Time: base.Add(time.Duration(i) * time.Minute), Template: tpl.ID})
+	}
+	cfg := detect.DefaultLSTMConfig()
+	cfg.Hidden = []int{12}
+	cfg.MaxVocab = 12
+	cfg.Epochs = 2
+	cfg.OverSampleRounds = 0
+	det := detect.NewLSTMDetector(cfg)
+	if err := det.Train([][]features.Event{stream}); err != nil {
+		t.Fatal(err)
+	}
+	return &Bundle{
+		Tree:      tree,
+		Detectors: []*detect.LSTMDetector{det},
+		Assign:    map[string]int{"vpe00": 0},
+		Threshold: 5.5,
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := trainedBundle(t)
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Threshold != 5.5 {
+		t.Fatalf("threshold: %v", loaded.Threshold)
+	}
+	if loaded.Tree.Len() != b.Tree.Len() {
+		t.Fatalf("tree size: %d vs %d", loaded.Tree.Len(), b.Tree.Len())
+	}
+	// Loaded detector scores identically.
+	base := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	stream := []features.Event{
+		{Time: base, Template: 0}, {Time: base.Add(time.Minute), Template: 1},
+		{Time: base.Add(2 * time.Minute), Template: 2}, {Time: base.Add(3 * time.Minute), Template: 0},
+	}
+	a := b.Detectors[0].Score("v", stream)
+	c := loaded.Detectors[0].Score("v", stream)
+	for i := range a {
+		if math.Abs(a[i].Score-c[i].Score) > 1e-12 {
+			t.Fatalf("score %d: %v vs %v", i, a[i].Score, c[i].Score)
+		}
+	}
+}
+
+func TestDetectorFor(t *testing.T) {
+	b := trainedBundle(t)
+	if b.DetectorFor("vpe00") != b.Detectors[0] {
+		t.Fatal("assigned host")
+	}
+	if b.DetectorFor("unknown-host") != b.Detectors[0] {
+		t.Fatal("unknown host should fall back to cluster 0")
+	}
+	empty := &Bundle{}
+	if empty.DetectorFor("x") != nil {
+		t.Fatal("empty bundle should return nil")
+	}
+}
+
+func TestSaveValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Bundle{}).Save(&buf); err == nil {
+		t.Fatal("empty bundle should not save")
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	if _, err := Load(strings.NewReader("garbage")); err == nil {
+		t.Fatal("corrupt input should fail")
+	}
+}

@@ -1,0 +1,163 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/nn"
+)
+
+// AEConfig parameterizes the Autoencoder baseline.
+type AEConfig struct {
+	// WindowWidth buckets the stream into fixed windows whose TF-IDF
+	// vectors are the autoencoder inputs (Zhang et al. 2016).
+	WindowWidth time.Duration
+	// Hidden lists encoder widths; the decoder mirrors them.
+	Hidden []int
+	// Epochs, UpdateEpochs, AdaptEpochs control the three training modes.
+	Epochs, UpdateEpochs, AdaptEpochs int
+	// AdaptFreezeLayers is how many bottom dense layers stay frozen
+	// during Adapt.
+	AdaptFreezeLayers int
+	// LR and Clip configure Adam.
+	LR, Clip float64
+	// MaxSamplesPerEpoch caps per-epoch training cost; 0 = no cap.
+	MaxSamplesPerEpoch int
+	// Seed drives initialization and shuffling.
+	Seed int64
+}
+
+// DefaultAEConfig returns the baseline configuration.
+func DefaultAEConfig() AEConfig {
+	return AEConfig{
+		WindowWidth:        10 * time.Minute,
+		Hidden:             []int{32, 8},
+		Epochs:             6,
+		UpdateEpochs:       2,
+		AdaptEpochs:        3,
+		AdaptFreezeLayers:  1,
+		LR:                 2e-3,
+		Clip:               5,
+		MaxSamplesPerEpoch: 6000,
+		Seed:               1,
+	}
+}
+
+// AEDetector is the Autoencoder baseline (§5.2): a bottleneck MLP trained
+// to reconstruct TF-IDF window vectors of normal syslog; the anomaly
+// score of a window is its reconstruction error.
+type AEDetector struct {
+	cfg AEConfig
+	vec *features.Vectorizer
+	net *nn.MLP
+	opt *nn.Adam
+	rng *rand.Rand
+}
+
+// NewAEDetector returns an untrained detector.
+func NewAEDetector(cfg AEConfig) *AEDetector {
+	if cfg.WindowWidth <= 0 {
+		cfg.WindowWidth = 10 * time.Minute
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{32, 8}
+	}
+	return &AEDetector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name implements Detector.
+func (d *AEDetector) Name() string { return "autoencoder" }
+
+func (d *AEDetector) windowsOf(streams [][]features.Event) []features.Window {
+	var out []features.Window
+	for _, s := range streams {
+		out = append(out, features.Windowize(s, d.cfg.WindowWidth)...)
+	}
+	return out
+}
+
+// Train implements Detector: fit the TF-IDF vectorizer and train the
+// bottleneck reconstruction.
+func (d *AEDetector) Train(streams [][]features.Event) error {
+	wins := d.windowsOf(streams)
+	if len(wins) == 0 {
+		return fmt.Errorf("detect: autoencoder training needs at least one window")
+	}
+	d.vec = features.NewVectorizer(true)
+	d.vec.Fit(wins)
+	d.net = nn.NewAutoencoder(d.vec.Dim(), d.cfg.Hidden, d.cfg.Seed)
+	d.opt = nn.NewAdam(d.cfg.LR, d.cfg.Clip)
+	d.epochs(wins, d.cfg.Epochs)
+	return nil
+}
+
+// Update implements Detector: incremental reconstruction training on the
+// fresh windows with the frozen vocabulary.
+func (d *AEDetector) Update(streams [][]features.Event) error {
+	if d.net == nil {
+		return d.Train(streams)
+	}
+	d.epochs(d.windowsOf(streams), d.cfg.UpdateEpochs)
+	return nil
+}
+
+// Adapt implements Detector: clone, freeze the encoder bottom, fine-tune.
+func (d *AEDetector) Adapt(streams [][]features.Event) error {
+	if d.net == nil {
+		return d.Train(streams)
+	}
+	student := d.net.Clone()
+	student.FreezeBottomLayers(d.cfg.AdaptFreezeLayers)
+	d.net = student
+	d.opt = nn.NewAdam(d.cfg.LR, d.cfg.Clip)
+	d.epochs(d.windowsOf(streams), d.cfg.AdaptEpochs)
+	for _, p := range d.net.Params() {
+		p.Frozen = false
+	}
+	return nil
+}
+
+func (d *AEDetector) epochs(wins []features.Window, n int) {
+	if len(wins) == 0 {
+		return
+	}
+	for e := 0; e < n; e++ {
+		idx := d.rng.Perm(len(wins))
+		cap := len(idx)
+		if d.cfg.MaxSamplesPerEpoch > 0 && cap > d.cfg.MaxSamplesPerEpoch {
+			cap = d.cfg.MaxSamplesPerEpoch
+		}
+		for _, i := range idx[:cap] {
+			x := d.vec.Transform(wins[i])
+			d.net.TrainReconstruction(x)
+			d.opt.Step(d.net.Params())
+		}
+	}
+}
+
+// Score implements Detector: every message carries its window's
+// reconstruction error. Per-message stamping (rather than one event per
+// window) keeps window methods compatible with the §5.1 warning rule —
+// a burst of anomalous messages inside one bad window still forms a
+// cluster of ≥2 anomalies within a minute.
+func (d *AEDetector) Score(vpe string, stream []features.Event) []ScoredEvent {
+	if d.net == nil || len(stream) == 0 {
+		return nil
+	}
+	wins := features.Windowize(stream, d.cfg.WindowWidth)
+	scores := make(map[int64]float64, len(wins))
+	for _, w := range wins {
+		scores[w.Start.UnixNano()] = d.net.ReconstructionError(d.vec.Transform(w))
+	}
+	out := make([]ScoredEvent, len(stream))
+	for i, e := range stream {
+		out[i] = ScoredEvent{
+			Time:  e.Time,
+			VPE:   vpe,
+			Score: scores[e.Time.Truncate(d.cfg.WindowWidth).UnixNano()],
+		}
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/nn"
+)
+
+// LSTMConfig parameterizes the LSTM detector.
+type LSTMConfig struct {
+	// Hidden lists LSTM layer widths; the paper uses two LSTM layers.
+	Hidden []int
+	// UseGap feeds the inter-arrival gap alongside the template one-hot,
+	// the (m_i, t_i − t_{i−1}) tuple of §4.2.
+	UseGap bool
+	// MaxVocab caps model classes (frequent templates + "other").
+	MaxVocab int
+	// WindowLen and Stride control BPTT window extraction.
+	WindowLen, Stride int
+	// Epochs is the number of initial-training passes.
+	Epochs int
+	// UpdateEpochs is the number of passes per monthly incremental update.
+	UpdateEpochs int
+	// OverSampleRounds bounds the §4.2 minority-pattern over-sampling
+	// loop (the loop also exits early once the training false-positive
+	// proxy stops improving).
+	OverSampleRounds int
+	// AdaptFreezeLayers is how many bottom LSTM layers stay frozen while
+	// fine-tuning the student after a system update (§4.3).
+	AdaptFreezeLayers int
+	// AdaptEpochs is the number of fine-tuning passes during Adapt.
+	AdaptEpochs int
+	// LR and Clip configure the Adam optimizer.
+	LR, Clip float64
+	// MaxWindowsPerEpoch subsamples training windows for bounded cost;
+	// 0 means no cap.
+	MaxWindowsPerEpoch int
+	// Seed drives initialization and shuffling.
+	Seed int64
+}
+
+// DefaultLSTMConfig mirrors the paper's architecture (2 LSTM layers +
+// 1 dense) at simulation scale.
+func DefaultLSTMConfig() LSTMConfig {
+	return LSTMConfig{
+		Hidden:             []int{32, 32},
+		UseGap:             true,
+		MaxVocab:           80,
+		WindowLen:          24,
+		Stride:             12,
+		Epochs:             2,
+		UpdateEpochs:       1,
+		OverSampleRounds:   2,
+		AdaptFreezeLayers:  1,
+		AdaptEpochs:        8,
+		LR:                 3e-3,
+		Clip:               5,
+		MaxWindowsPerEpoch: 4000,
+		Seed:               1,
+	}
+}
+
+// LSTMDetector is the paper's primary method: an LSTM language model over
+// template sequences; the anomaly score of a message is the negative log-
+// likelihood the model assigned it given its context (§4.2).
+type LSTMDetector struct {
+	cfg   LSTMConfig
+	vocab *Vocabulary
+	model *nn.SequenceModel
+	opt   *nn.Adam
+	rng   *rand.Rand
+}
+
+// NewLSTMDetector returns an untrained detector.
+func NewLSTMDetector(cfg LSTMConfig) *LSTMDetector {
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{32, 32}
+	}
+	if cfg.WindowLen < 2 {
+		cfg.WindowLen = 2
+	}
+	if cfg.Stride < 1 {
+		cfg.Stride = cfg.WindowLen
+	}
+	return &LSTMDetector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name implements Detector.
+func (d *LSTMDetector) Name() string { return "lstm" }
+
+// Model exposes the underlying sequence model (nil before Train), used by
+// serialization paths and tests.
+func (d *LSTMDetector) Model() *nn.SequenceModel { return d.model }
+
+// tokenize converts an event stream into model tokens.
+func (d *LSTMDetector) tokenize(stream []features.Event) []nn.Token {
+	toks := make([]nn.Token, len(stream))
+	for i, e := range stream {
+		toks[i] = nn.Token{ID: d.vocab.Class(e.Template), Gap: gapSeconds(stream, i)}
+	}
+	return toks
+}
+
+// windows cuts per-stream tokens into overlapping BPTT windows.
+func (d *LSTMDetector) windows(streams [][]features.Event) [][]nn.Token {
+	var out [][]nn.Token
+	for _, s := range streams {
+		toks := d.tokenize(s)
+		for lo := 0; lo+2 <= len(toks); lo += d.cfg.Stride {
+			hi := lo + d.cfg.WindowLen
+			if hi > len(toks) {
+				hi = len(toks)
+			}
+			out = append(out, toks[lo:hi])
+			if hi == len(toks) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Train implements Detector: vocabulary fit, initial epochs, then the
+// §4.2 over-sampling loop on poorly modeled normal windows.
+func (d *LSTMDetector) Train(streams [][]features.Event) error {
+	if countEvents(streams) < 2 {
+		return fmt.Errorf("detect: lstm training needs at least 2 events")
+	}
+	d.vocab = BuildVocabulary(streams, d.cfg.MaxVocab)
+	// The model's class space is the vocabulary capacity, not the number
+	// of templates seen so far: spare slots are assigned to templates that
+	// appear after system updates (see Vocabulary).
+	d.model = nn.NewSequenceModel(nn.SeqModelConfig{
+		Vocab:  d.vocab.Size(),
+		Hidden: d.cfg.Hidden,
+		UseGap: d.cfg.UseGap,
+		Seed:   d.cfg.Seed,
+	})
+	d.opt = nn.NewAdam(d.cfg.LR, d.cfg.Clip)
+	wins := d.windows(streams)
+	for e := 0; e < d.cfg.Epochs; e++ {
+		d.trainEpoch(wins)
+	}
+	d.overSampleLoop(wins)
+	return nil
+}
+
+// Update implements Detector: incremental training on fresh data (§4.3
+// online learning). It is weight-only: the vocabulary is NOT extended, so
+// templates introduced by a software update keep folding into "other" —
+// which is why naive incremental updates cannot fully recover from an
+// update (Figure 7's baseline/cust dip) and the paper reaches for either
+// transfer-learning adaptation (Adapt, which does extend the vocabulary)
+// or a full retrain once enough fresh data has accumulated.
+func (d *LSTMDetector) Update(streams [][]features.Event) error {
+	if d.model == nil {
+		return d.Train(streams)
+	}
+	wins := d.windows(streams)
+	for e := 0; e < d.cfg.UpdateEpochs; e++ {
+		d.trainEpoch(wins)
+	}
+	return nil
+}
+
+// Adapt implements Detector: teacher→student transfer learning. The
+// student copies the teacher, freezes the bottom layers, and fine-tunes
+// the top of the network on the (short) fresh streams (§4.3).
+func (d *LSTMDetector) Adapt(streams [][]features.Event) error {
+	if d.model == nil {
+		return d.Train(streams)
+	}
+	d.vocab.Assign(streams)
+	student := d.model.Clone()
+	// Never freeze the whole recurrent stack: fine-tuning needs at least
+	// the top LSTM layer plus the dense output (§4.3 "fine tune top
+	// layers of the model").
+	freeze := d.cfg.AdaptFreezeLayers
+	if max := len(d.cfg.Hidden) - 1; freeze > max {
+		freeze = max
+	}
+	student.FreezeBottomLayers(freeze)
+	d.model = student
+	d.opt = nn.NewAdam(d.cfg.LR, d.cfg.Clip) // fresh moments for the student
+	wins := d.windows(streams)
+	epochs := d.cfg.AdaptEpochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	for e := 0; e < epochs; e++ {
+		if e == (epochs+1)/2 {
+			// Gradual unfreezing: the first half of fine-tuning updates
+			// only the top layers (stabilizing on the teacher's
+			// features); the second half unfreezes everything so the
+			// bottom layer's input projections for newly assigned
+			// template slots — random until now — can learn. Without
+			// this, a disruptive update whose new templates dominate
+			// traffic leaves the frozen layer unable to represent them.
+			d.model.Unfreeze()
+		}
+		d.trainEpoch(wins)
+	}
+	d.model.Unfreeze()
+	return nil
+}
+
+// trainEpoch shuffles and trains one pass over the windows, respecting the
+// per-epoch cap.
+func (d *LSTMDetector) trainEpoch(wins [][]nn.Token) {
+	idx := d.rng.Perm(len(wins))
+	cap := len(idx)
+	if d.cfg.MaxWindowsPerEpoch > 0 && cap > d.cfg.MaxWindowsPerEpoch {
+		cap = d.cfg.MaxWindowsPerEpoch
+	}
+	for _, i := range idx[:cap] {
+		if d.model.TrainWindow(wins[i]) > 0 {
+			d.opt.Step(d.model.Params())
+		}
+	}
+}
+
+// overSampleLoop implements the §4.2 minority-pattern procedure: after
+// each round, normal windows the model still scores badly (false-positive
+// proxies) are over-sampled together with a random sample of the rest;
+// the loop exits when the bad-window loss stops improving.
+func (d *LSTMDetector) overSampleLoop(wins [][]nn.Token) {
+	if len(wins) == 0 {
+		return
+	}
+	prevBad := -1.0
+	for round := 0; round < d.cfg.OverSampleRounds; round++ {
+		type wl struct {
+			i    int
+			loss float64
+		}
+		losses := make([]wl, len(wins))
+		var total float64
+		for i, w := range wins {
+			l := d.model.SequenceLogLoss(w)
+			losses[i] = wl{i, l}
+			total += l
+		}
+		sort.Slice(losses, func(a, b int) bool { return losses[a].loss > losses[b].loss })
+		nBad := len(losses) / 5
+		if nBad == 0 {
+			nBad = 1
+		}
+		var badMean float64
+		for _, x := range losses[:nBad] {
+			badMean += x.loss
+		}
+		badMean /= float64(nBad)
+		if prevBad >= 0 && badMean >= prevBad*0.995 {
+			return // no further improvement in the false-positive proxy
+		}
+		prevBad = badMean
+
+		// Over-sample the misclassified windows, random-sample others.
+		var batch [][]nn.Token
+		for _, x := range losses[:nBad] {
+			for k := 0; k < 3; k++ {
+				batch = append(batch, wins[x.i])
+			}
+		}
+		rest := losses[nBad:]
+		for k := 0; k < len(rest)/3; k++ {
+			batch = append(batch, wins[rest[d.rng.Intn(len(rest))].i])
+		}
+		d.rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+		for _, w := range batch {
+			if d.model.TrainWindow(w) > 0 {
+				d.opt.Step(d.model.Params())
+			}
+		}
+	}
+}
+
+// Score implements Detector: each message's score is its negative log-
+// likelihood under the model given the preceding stream.
+func (d *LSTMDetector) Score(vpe string, stream []features.Event) []ScoredEvent {
+	if d.model == nil || len(stream) == 0 {
+		return nil
+	}
+	out := make([]ScoredEvent, 0, len(stream))
+	st := d.model.NewStreamState()
+	toks := d.tokenize(stream)
+	// The first token has no context; give it the neutral score 0.
+	out = append(out, ScoredEvent{Time: stream[0].Time, VPE: vpe, Score: 0})
+	for i := 0; i+1 < len(toks); i++ {
+		lp := d.model.StepLogProbs(toks[i], st)
+		out = append(out, ScoredEvent{
+			Time:  stream[i+1].Time,
+			VPE:   vpe,
+			Score: -lp[toks[i+1].ID],
+		})
+	}
+	return out
+}
+
+func countEvents(streams [][]features.Event) int {
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package detect
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"nfvpredict/internal/nn"
+)
+
+// detectorSnapshot is the gob wire form of an LSTMDetector: configuration,
+// template→class vocabulary, and model weights. It is what an offline
+// training job ships to the live monitors (cmd/nfvmonitor).
+type detectorSnapshot struct {
+	Cfg      LSTMConfig
+	Vocab    map[int]int
+	Capacity int
+	Model    []byte
+}
+
+// Save serializes the trained detector to w. It fails on an untrained
+// detector: there is nothing useful to ship.
+func (d *LSTMDetector) Save(w io.Writer) error {
+	if d.model == nil {
+		return fmt.Errorf("detect: cannot save an untrained detector")
+	}
+	var modelBuf bytes.Buffer
+	if err := d.model.Save(&modelBuf); err != nil {
+		return err
+	}
+	snap := detectorSnapshot{
+		Cfg:      d.cfg,
+		Vocab:    make(map[int]int, len(d.vocab.index)),
+		Capacity: d.vocab.capacity,
+		Model:    modelBuf.Bytes(),
+	}
+	for k, v := range d.vocab.index {
+		snap.Vocab[k] = v
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("detect: encoding detector: %w", err)
+	}
+	return nil
+}
+
+// LoadLSTMDetector reconstructs a detector saved with Save. The loaded
+// detector scores identically to the original and can continue training
+// (Update/Adapt).
+func LoadLSTMDetector(r io.Reader) (*LSTMDetector, error) {
+	var snap detectorSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("detect: decoding detector: %w", err)
+	}
+	d := NewLSTMDetector(snap.Cfg)
+	model, err := nn.LoadSequenceModel(bytes.NewReader(snap.Model))
+	if err != nil {
+		return nil, err
+	}
+	d.model = model
+	d.vocab = NewVocabulary(snap.Capacity)
+	for k, v := range snap.Vocab {
+		d.vocab.index[k] = v
+	}
+	d.opt = nn.NewAdam(snap.Cfg.LR, snap.Cfg.Clip)
+	d.rng = rand.New(rand.NewSource(snap.Cfg.Seed))
+	return d, nil
+}

@@ -1,0 +1,92 @@
+package detect
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/features"
+)
+
+func TestLSTMDetectorSaveLoadRoundTrip(t *testing.T) {
+	train := [][]features.Event{cyclicStream(400, 4, time.Minute)}
+	d := NewLSTMDetector(smallLSTMConfig())
+	if err := d.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLSTMDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical scores on identical input.
+	stream := withAnomaly(cyclicStream(120, 4, time.Minute), 60, 62, 99)
+	a := d.Score("v", stream)
+	b := loaded.Score("v", stream)
+	if len(a) != len(b) {
+		t.Fatalf("score lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i].Score-b[i].Score) > 1e-12 {
+			t.Fatalf("score %d differs: %v vs %v", i, a[i].Score, b[i].Score)
+		}
+	}
+	// The loaded detector can keep training.
+	if err := loaded.Update(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Adapt(train); err != nil {
+		t.Fatal(err)
+	}
+	// And can stream online.
+	st := loaded.NewStream()
+	if st == nil {
+		t.Fatal("loaded detector should stream")
+	}
+	if s := st.Push(stream[0]); s != 0 {
+		t.Fatalf("first streamed score should be 0, got %v", s)
+	}
+}
+
+func TestSaveUntrainedDetectorFails(t *testing.T) {
+	d := NewLSTMDetector(smallLSTMConfig())
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err == nil {
+		t.Fatal("expected error saving untrained detector")
+	}
+}
+
+func TestLoadCorruptDetector(t *testing.T) {
+	if _, err := LoadLSTMDetector(strings.NewReader("junk")); err == nil {
+		t.Fatal("expected error on corrupt input")
+	}
+}
+
+func TestStreamMatchesBatchScoring(t *testing.T) {
+	train := [][]features.Event{cyclicStream(400, 4, time.Minute)}
+	d := NewLSTMDetector(smallLSTMConfig())
+	if err := d.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	stream := withAnomaly(cyclicStream(80, 4, time.Minute), 40, 42, 99)
+	batch := d.Score("v", stream)
+	st := d.NewStream()
+	for i, e := range stream {
+		got := st.Push(e)
+		if math.Abs(got-batch[i].Score) > 1e-9 {
+			t.Fatalf("stream score %d = %v, batch = %v", i, got, batch[i].Score)
+		}
+	}
+}
+
+func TestStreamOnUntrainedDetector(t *testing.T) {
+	d := NewLSTMDetector(smallLSTMConfig())
+	if d.NewStream() != nil {
+		t.Fatal("untrained detector must return nil stream")
+	}
+}

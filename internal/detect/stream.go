@@ -1,0 +1,56 @@
+package detect
+
+import (
+	"time"
+
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/nn"
+)
+
+// LSTMStream scores one vPE's messages online, maintaining the model's
+// recurrent state between calls — the runtime deployment mode the paper
+// envisions: "a runtime predictive analysis system running in parallel
+// with existing reactive monitoring systems" (§1, abstract).
+//
+// A stream is not safe for concurrent use; create one stream per vPE and
+// serialize pushes per stream (the ingest server does both).
+type LSTMStream struct {
+	det     *LSTMDetector
+	st      *nn.StreamState
+	last    time.Time
+	started bool
+	pending nn.Token
+}
+
+// NewStream returns an online scorer bound to the detector's current
+// model. Streams observe later model replacements (Update/Adapt) on their
+// next push, since they read the detector's model pointer each time;
+// recurrent state carries over, which matches a long-running monitor.
+func (d *LSTMDetector) NewStream() *LSTMStream {
+	if d.model == nil {
+		return nil
+	}
+	return &LSTMStream{det: d, st: d.model.NewStreamState()}
+}
+
+// Push scores one event and advances the stream. The first event has no
+// context and scores 0.
+func (s *LSTMStream) Push(e features.Event) float64 {
+	gap := 60.0
+	if s.started {
+		gap = e.Time.Sub(s.last).Seconds()
+		if gap < 0 {
+			gap = 0
+		}
+	}
+	tok := nn.Token{ID: s.det.vocab.Class(e.Template), Gap: gap}
+	var score float64
+	if s.started {
+		lp := s.det.model.StepLogProbs(s.pending, s.st)
+		score = -lp[tok.ID]
+	}
+	s.pending = tok
+	s.last = e.Time
+	s.started = true
+	return score
+}

@@ -1,0 +1,265 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/ticket"
+)
+
+var e0 = time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func tk(id int, vpe string, cause ticket.RootCause, reportOff, dur time.Duration) ticket.Ticket {
+	return ticket.Ticket{
+		ID: id, VPE: vpe, Cause: cause,
+		Report: e0.Add(reportOff), Repair: e0.Add(reportOff + dur),
+		DuplicateOf: -1,
+	}
+}
+
+func warn(vpe string, off time.Duration) detect.Warning {
+	return detect.Warning{VPE: vpe, Time: e0.Add(off), Size: 2}
+}
+
+func TestMapWarningsBasic(t *testing.T) {
+	tickets := []ticket.Ticket{
+		tk(0, "a", ticket.Circuit, 48*time.Hour, 2*time.Hour),
+	}
+	cfg := DefaultConfig()
+	warnings := []detect.Warning{
+		warn("a", 48*time.Hour-10*time.Minute), // early warning
+		warn("a", 48*time.Hour+30*time.Minute), // error (infected period)
+		warn("a", 10*time.Hour),                // false alarm (outside 24h window)
+		warn("b", 48*time.Hour),                // false alarm (wrong vPE)
+	}
+	o := MapWarnings(warnings, tickets, cfg, e0, e0.Add(96*time.Hour))
+	if o.Tickets != 1 || len(o.Hits) != 1 {
+		t.Fatalf("outcome: %+v", o)
+	}
+	if o.MappedWarnings != 2 || o.FalseAlarms != 2 {
+		t.Fatalf("mapping counts: %+v", o)
+	}
+	hit := o.Hits[0]
+	if hit.Warnings != 2 {
+		t.Fatalf("hit warnings: %+v", hit)
+	}
+	if hit.EarliestOffset != -10*time.Minute {
+		t.Fatalf("earliest offset: %v", hit.EarliestOffset)
+	}
+}
+
+func TestMapWarningsBoundaries(t *testing.T) {
+	tickets := []ticket.Ticket{tk(0, "a", ticket.Circuit, 30*time.Hour, time.Hour)}
+	cfg := DefaultConfig()
+	// Exactly at predictive-period start: mapped.
+	o := MapWarnings([]detect.Warning{warn("a", 6*time.Hour)}, tickets, cfg, time.Time{}, time.Time{})
+	if len(o.Hits) != 1 {
+		t.Fatal("warning at window start should map")
+	}
+	// Exactly at repair finish: mapped.
+	o = MapWarnings([]detect.Warning{warn("a", 31*time.Hour)}, tickets, cfg, time.Time{}, time.Time{})
+	if len(o.Hits) != 1 {
+		t.Fatal("warning at repair finish should map")
+	}
+	// One second past repair: false alarm.
+	o = MapWarnings([]detect.Warning{warn("a", 31*time.Hour+time.Second)}, tickets, cfg, time.Time{}, time.Time{})
+	if len(o.Hits) != 0 || o.FalseAlarms != 1 {
+		t.Fatal("warning after repair should not map")
+	}
+}
+
+func TestMapWarningsTimeRangeFilter(t *testing.T) {
+	tickets := []ticket.Ticket{
+		tk(0, "a", ticket.Circuit, 10*time.Hour, time.Hour),
+		tk(1, "a", ticket.Circuit, 200*time.Hour, time.Hour),
+	}
+	warnings := []detect.Warning{warn("a", 10*time.Hour), warn("a", 200*time.Hour)}
+	o := MapWarnings(warnings, tickets, DefaultConfig(), e0, e0.Add(100*time.Hour))
+	if o.Tickets != 1 || len(o.Hits) != 1 || o.MappedWarnings != 1 {
+		t.Fatalf("range filter: %+v", o)
+	}
+}
+
+func TestOneWarningMapsToOverlappingTickets(t *testing.T) {
+	// Two tickets on the same vPE with overlapping windows: a warning in
+	// the overlap maps to both but counts once for precision.
+	tickets := []ticket.Ticket{
+		tk(0, "a", ticket.Circuit, 24*time.Hour, 6*time.Hour),
+		tk(1, "a", ticket.Duplicate, 26*time.Hour, 2*time.Hour),
+	}
+	o := MapWarnings([]detect.Warning{warn("a", 25*time.Hour)}, tickets, DefaultConfig(), time.Time{}, time.Time{})
+	if len(o.Hits) != 2 {
+		t.Fatalf("expected both tickets hit: %+v", o.Hits)
+	}
+	if o.MappedWarnings != 1 {
+		t.Fatalf("warning double-counted: %+v", o)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	o := &Outcome{
+		Hits:           map[int]*TicketHit{0: {}, 1: {}},
+		Tickets:        4,
+		EligibleHits:   2,
+		MappedWarnings: 6,
+		FalseAlarms:    2,
+		Span:           48 * time.Hour,
+	}
+	m := o.Metrics()
+	if math.Abs(m.Precision-0.75) > 1e-12 {
+		t.Fatalf("precision %v", m.Precision)
+	}
+	if math.Abs(m.Recall-0.5) > 1e-12 {
+		t.Fatalf("recall %v", m.Recall)
+	}
+	wantF := 2 * 0.75 * 0.5 / 1.25
+	if math.Abs(m.F-wantF) > 1e-12 {
+		t.Fatalf("F %v want %v", m.F, wantF)
+	}
+	if math.Abs(m.FalseAlarmsPerDay-1) > 1e-12 {
+		t.Fatalf("false alarms/day %v", m.FalseAlarmsPerDay)
+	}
+}
+
+func TestMetricsEmpty(t *testing.T) {
+	m := (&Outcome{Hits: map[int]*TicketHit{}}).Metrics()
+	if m.Precision != 0 || m.Recall != 0 || m.F != 0 {
+		t.Fatalf("empty metrics: %+v", m)
+	}
+}
+
+func TestPRCurveMonotonicBehaviour(t *testing.T) {
+	// Construct scores: events near the ticket get high scores, noise
+	// gets low scores. Sweeping thresholds must trade precision/recall.
+	tickets := []ticket.Ticket{tk(0, "a", ticket.Circuit, 24*time.Hour, 2*time.Hour)}
+	var events []detect.ScoredEvent
+	// Signal: cluster of high scores just before the report.
+	for i := 0; i < 3; i++ {
+		events = append(events, detect.ScoredEvent{
+			Time: e0.Add(24*time.Hour - 10*time.Minute + time.Duration(i)*20*time.Second),
+			VPE:  "a", Score: 10,
+		})
+	}
+	// Noise: pairs of mid-score events far from the ticket.
+	for i := 0; i < 5; i++ {
+		base := e0.Add(time.Duration(100+i*100) * time.Hour)
+		events = append(events,
+			detect.ScoredEvent{Time: base, VPE: "a", Score: 5},
+			detect.ScoredEvent{Time: base.Add(30 * time.Second), VPE: "a", Score: 5},
+		)
+	}
+	curve := PRCurve(events, tickets, []float64{4, 7}, DefaultConfig(), time.Time{}, time.Time{})
+	if len(curve) != 2 {
+		t.Fatalf("curve: %+v", curve)
+	}
+	low, high := curve[0], curve[1]
+	if low.Recall != 1 || high.Recall != 1 {
+		t.Fatalf("both thresholds should recall the ticket: %+v", curve)
+	}
+	if low.Precision >= high.Precision {
+		t.Fatalf("higher threshold should have higher precision: %+v", curve)
+	}
+	if high.Precision != 1 {
+		t.Fatalf("high threshold should be exact: %+v", high)
+	}
+	best := BestF(curve)
+	if best.Threshold != 7 {
+		t.Fatalf("BestF picked %+v", best)
+	}
+}
+
+func TestAUCPR(t *testing.T) {
+	curve := []PRPoint{
+		{Metrics: Metrics{Precision: 1, Recall: 0}},
+		{Metrics: Metrics{Precision: 1, Recall: 0.5}},
+		{Metrics: Metrics{Precision: 0.5, Recall: 1}},
+	}
+	auc := AUCPR(curve)
+	want := 1*0.5 + 0.75*0.5
+	if math.Abs(auc-want) > 1e-12 {
+		t.Fatalf("AUC %v want %v", auc, want)
+	}
+	if AUCPR(nil) != 0 || AUCPR(curve[:1]) != 0 {
+		t.Fatal("degenerate AUC should be 0")
+	}
+}
+
+func TestDetectionByType(t *testing.T) {
+	tickets := []ticket.Ticket{
+		tk(0, "a", ticket.Circuit, 24*time.Hour, time.Hour),   // detected 20 min early
+		tk(1, "a", ticket.Circuit, 100*time.Hour, time.Hour),  // detected 3 min early
+		tk(2, "b", ticket.Cable, 50*time.Hour, time.Hour),     // detected 10 min late
+		tk(3, "b", ticket.Hardware, 150*time.Hour, time.Hour), // undetected
+		tk(4, "a", ticket.Maintenance, 80*time.Hour, time.Hour),
+	}
+	warnings := []detect.Warning{
+		warn("a", 24*time.Hour-20*time.Minute),
+		warn("a", 100*time.Hour-3*time.Minute),
+		warn("b", 50*time.Hour+10*time.Minute),
+	}
+	o := MapWarnings(warnings, tickets, DefaultConfig(), time.Time{}, time.Time{})
+	tds := DetectionByType(o, tickets, time.Time{}, time.Time{})
+	byCause := map[ticket.RootCause]TypeDetection{}
+	var all TypeDetection
+	for _, td := range tds {
+		if td.All {
+			all = td
+		} else {
+			byCause[td.Cause] = td
+		}
+	}
+	cir := byCause[ticket.Circuit]
+	if cir.Tickets != 2 {
+		t.Fatalf("circuit tickets: %+v", cir)
+	}
+	// Ticket 0 at -20min counts for every bucket; ticket 1 at -3min only
+	// from the "0min" bucket on.
+	if cir.Rates[0] != 0.5 || cir.Rates[1] != 0.5 || cir.Rates[2] != 1 || cir.Rates[4] != 1 {
+		t.Fatalf("circuit rates: %+v", cir.Rates)
+	}
+	cab := byCause[ticket.Cable]
+	if cab.Rates[2] != 0 || cab.Rates[3] != 0 || cab.Rates[4] != 1 {
+		t.Fatalf("cable rates: %+v", cab.Rates)
+	}
+	hw := byCause[ticket.Hardware]
+	if hw.Rates[4] != 0 {
+		t.Fatalf("hardware rates: %+v", hw.Rates)
+	}
+	// Aggregate excludes maintenance: 4 tickets, 3 detected by +15min.
+	if all.Tickets != 4 {
+		t.Fatalf("aggregate population: %+v", all)
+	}
+	if math.Abs(all.Rates[4]-0.75) > 1e-12 {
+		t.Fatalf("aggregate +15min rate: %+v", all.Rates)
+	}
+}
+
+func TestLeadBucketLabels(t *testing.T) {
+	if LeadBucketNames[0] != "-15min" || LeadBucketNames[4] != "+15min" {
+		t.Fatalf("labels: %v", LeadBucketNames)
+	}
+	if LeadOffsets[2] != 0 {
+		t.Fatalf("offsets: %v", LeadOffsets)
+	}
+}
+
+func TestMultiMappedCount(t *testing.T) {
+	tickets := []ticket.Ticket{
+		tk(0, "a", ticket.Circuit, 24*time.Hour, 6*time.Hour),
+		tk(1, "a", ticket.Duplicate, 26*time.Hour, 2*time.Hour),
+		tk(2, "b", ticket.Circuit, 100*time.Hour, time.Hour),
+	}
+	warnings := []detect.Warning{
+		warn("a", 25*time.Hour),  // overlaps both "a" tickets
+		warn("b", 100*time.Hour), // maps to one
+	}
+	o := MapWarnings(warnings, tickets, DefaultConfig(), time.Time{}, time.Time{})
+	if o.MultiMapped != 1 {
+		t.Fatalf("MultiMapped=%d want 1", o.MultiMapped)
+	}
+	if o.MappedWarnings != 2 {
+		t.Fatalf("MappedWarnings=%d", o.MappedWarnings)
+	}
+}

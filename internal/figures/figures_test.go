@@ -1,0 +1,233 @@
+package figures
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/nfvsim"
+	"nfvpredict/internal/pipeline"
+	"nfvpredict/internal/ticket"
+)
+
+// tinyEnv builds a minimal dataset that exercises every figure path fast.
+func tinyEnv(t *testing.T) (*nfvsim.Trace, *pipeline.Dataset, nfvsim.Config, pipeline.Config) {
+	t.Helper()
+	cfg := nfvsim.TestConfig()
+	cfg.NumVPEs = 5
+	cfg.Months = 4
+	cfg.NumPPEs = 2
+	cfg.UpdateMonth = 2
+	cfg.MeanFaultGapHours = 250
+	d, err := nfvsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := d.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pipeline.BuildDataset(tr, cfg.Start, cfg.Months)
+	pcfg := ModelPipelineConfig()
+	pcfg.LSTM.Hidden = []int{14}
+	pcfg.LSTM.Epochs = 1
+	pcfg.LSTM.OverSampleRounds = 0
+	pcfg.LSTM.MaxWindowsPerEpoch = 400
+	pcfg.AE.Epochs = 2
+	pcfg.OCSVM.Iters = 800
+	pcfg.SweepPoints = 12
+	return tr, ds, cfg, pcfg
+}
+
+func TestStatsFiguresSmoke(t *testing.T) {
+	tr, ds, cfg, _ := tinyEnv(t)
+	var buf bytes.Buffer
+
+	rows := Fig1a(&buf, tr, cfg.Start, cfg.Months)
+	if len(rows) != cfg.Months || !strings.Contains(buf.String(), "Maintenance") {
+		t.Fatalf("Fig1a: %d rows\n%s", len(rows), buf.String())
+	}
+
+	buf.Reset()
+	cdf, cps := Fig1b(&buf, tr)
+	if len(cdf) == 0 || cps[1] < 0 || !strings.Contains(buf.String(), "CDF") {
+		t.Fatalf("Fig1b: %v %v", cdf, cps)
+	}
+
+	buf.Reset()
+	cells, maxBin := Fig2(&buf, tr, cfg.Start, cfg.Months)
+	if cells == 0 || maxBin < 1 {
+		t.Fatalf("Fig2: cells=%d maxBin=%d", cells, maxBin)
+	}
+
+	buf.Reset()
+	medians := Fig3(&buf, ds)
+	if len(medians) != cfg.NumVPEs {
+		t.Fatalf("Fig3: %v", medians)
+	}
+	for v, m := range medians {
+		if m < 0 || m > 1 {
+			t.Fatalf("Fig3 median out of range: %s=%v", v, m)
+		}
+	}
+
+	buf.Reset()
+	preMin, pure := UpdateShift(&buf, ds, tr, cfg.UpdateMonth)
+	if preMin <= pure {
+		t.Fatalf("update shift should drop: pre-min %.2f vs pure %.2f", preMin, pure)
+	}
+
+	buf.Reset()
+	reduction := Volume(&buf, tr)
+	if reduction < 0.4 || reduction > 0.95 {
+		t.Fatalf("volume reduction %.2f", reduction)
+	}
+}
+
+func TestModelFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model figures in -short mode")
+	}
+	_, ds, cfg, pcfg := tinyEnv(t)
+
+	best, err := Fig5(io.Discard, ds, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) != 3 || best[24*time.Hour].F <= 0 {
+		t.Fatalf("Fig5: %+v", best)
+	}
+
+	series, err := Fig7(io.Discard, ds, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("Fig7 variants: %d", len(series))
+	}
+	for v, mms := range series {
+		if len(mms) != ds.Months-1 {
+			t.Fatalf("Fig7 %v: %d months", v, len(mms))
+		}
+	}
+
+	tds, err := Fig8(io.Discard, ds, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tds) != 6 {
+		t.Fatalf("Fig8 rows: %d", len(tds))
+	}
+	for _, td := range tds {
+		for i := 1; i < len(td.Rates); i++ {
+			if td.Rates[i] < td.Rates[i-1] {
+				t.Fatalf("Fig8 rates must be cumulative: %+v", td)
+			}
+		}
+	}
+	_ = cfg
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model figures in -short mode")
+	}
+	_, ds, _, pcfg := tinyEnv(t)
+	best, err := Fig6(io.Discard, ds, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) != 3 {
+		t.Fatalf("Fig6: %+v", best)
+	}
+	for m, b := range best {
+		if b.F < 0 || b.F > 1 {
+			t.Fatalf("Fig6 %s: F=%v", m, b.F)
+		}
+	}
+}
+
+// The stable-period system (no software update) must reach a strong
+// operating point — the regression guard for the paper's P=0.80/R=0.81.
+func TestStablePeriodOperatingPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model run in -short mode")
+	}
+	cfg := ModelSimConfig()
+	cfg.Months = 6
+	cfg.UpdateMonth = -1
+	d, err := nfvsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := d.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pipeline.BuildDataset(tr, cfg.Start, cfg.Months)
+	best, err := Fig5(io.Discard, ds, ModelPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := best[24*time.Hour]
+	t.Logf("stable-period operating point: P=%.2f R=%.2f F=%.2f fa/day=%.2f (paper: 0.80/0.81, 0.6)",
+		b.Precision, b.Recall, b.F, b.FalseAlarmsPerDay)
+	if b.F < 0.7 {
+		t.Errorf("stable-period F=%.2f below regression floor 0.70", b.F)
+	}
+	if b.Precision < 0.55 || b.Recall < 0.7 {
+		t.Errorf("stable-period operating point too weak: P=%.2f R=%.2f", b.Precision, b.Recall)
+	}
+}
+
+func TestReductionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reduction sweep in -short mode")
+	}
+	cfg := nfvsim.TestConfig()
+	cfg.NumVPEs = 6
+	cfg.Months = 7
+	cfg.UpdateMonth = 3
+	cfg.MeanFaultGapHours = 220
+	d, err := nfvsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := d.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pipeline.BuildDataset(tr, cfg.Start, cfg.Months)
+	pcfg := ModelPipelineConfig()
+	pcfg.LSTM.Hidden = []int{14}
+	pcfg.LSTM.Epochs = 1
+	pcfg.LSTM.OverSampleRounds = 0
+	pcfg.LSTM.MaxWindowsPerEpoch = 400
+	clusterRows, adaptRows, err := Reduction(io.Discard, ds, pcfg, cfg.UpdateMonth, cfg.UpdateMonth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusterRows) != 4 || len(adaptRows) != 5 {
+		t.Fatalf("rows: %d %d", len(clusterRows), len(adaptRows))
+	}
+}
+
+func TestConfigsAreReasonable(t *testing.T) {
+	s := StatsSimConfig()
+	if s.NumVPEs != 38 || s.Months != 18 || s.NumPPEs == 0 {
+		t.Fatalf("stats config should mirror the paper with a pPE fleet: %+v", s)
+	}
+	m := ModelSimConfig()
+	if m.UpdateMonth < 2 || m.UpdateMonth >= m.Months-2 {
+		t.Fatalf("model config must leave room before and after the update: %+v", m)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = ticket.Circuit
+}

@@ -1,0 +1,151 @@
+package ingest
+
+import (
+	"sync"
+	"time"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/sigtree"
+)
+
+// MonitorConfig configures an online Monitor.
+type MonitorConfig struct {
+	// Threshold is the anomaly-score threshold (negative log-likelihood);
+	// pick it from an offline PRC's best-F operating point (§5.2).
+	Threshold float64
+	// ClusterWindow and MinClusterSize implement the §5.1 warning rule
+	// (≥2 anomalies within a minute → warning signature).
+	ClusterWindow  time.Duration
+	MinClusterSize int
+}
+
+// DefaultMonitorConfig returns the paper's warning-clustering parameters
+// with a placeholder threshold of 6 (≈ e^-6 next-template likelihood).
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{
+		Threshold:      6,
+		ClusterWindow:  detect.DefaultClusterWindow,
+		MinClusterSize: detect.DefaultMinClusterSize,
+	}
+}
+
+// Monitor is the live counterpart of the offline pipeline: it templates
+// each incoming syslog message with the signature tree, scores it against
+// the trained LSTM with per-vPE streaming state, clusters anomalies, and
+// emits warning signatures to a callback.
+//
+// HandleMessage is safe to call from one goroutine at a time (the ingest
+// Server's dispatcher provides exactly that); Warnings and counters may be
+// read concurrently.
+type Monitor struct {
+	cfg     MonitorConfig
+	tree    *sigtree.Tree
+	resolve func(host string) *detect.LSTMDetector
+
+	onWarning func(detect.Warning)
+
+	mu       sync.Mutex
+	streams  map[string]*detect.LSTMStream
+	clusters map[string]*clusterState
+	warnings []detect.Warning
+	messages uint64
+	anoms    uint64
+}
+
+// clusterState tracks the in-progress anomaly cluster of one vPE.
+type clusterState struct {
+	first, last time.Time
+	size        int
+	reported    bool
+}
+
+// NewMonitor builds a monitor from a grown signature tree and a trained
+// LSTM detector. onWarning (optional) fires once per warning signature.
+func NewMonitor(cfg MonitorConfig, tree *sigtree.Tree, det *detect.LSTMDetector, onWarning func(detect.Warning)) *Monitor {
+	return NewMonitorWithResolver(cfg, tree, func(string) *detect.LSTMDetector { return det }, onWarning)
+}
+
+// NewMonitorWithResolver builds a monitor whose detector is chosen per
+// host — the multi-cluster deployment mode, where each vPE scores against
+// its cluster's model (§4.3). resolve may return nil for hosts that have
+// no trained model yet; their messages are counted but not scored.
+func NewMonitorWithResolver(cfg MonitorConfig, tree *sigtree.Tree, resolve func(host string) *detect.LSTMDetector, onWarning func(detect.Warning)) *Monitor {
+	if cfg.ClusterWindow <= 0 {
+		cfg.ClusterWindow = detect.DefaultClusterWindow
+	}
+	if cfg.MinClusterSize <= 0 {
+		cfg.MinClusterSize = detect.DefaultMinClusterSize
+	}
+	return &Monitor{
+		cfg:       cfg,
+		tree:      tree,
+		resolve:   resolve,
+		onWarning: onWarning,
+		streams:   make(map[string]*detect.LSTMStream),
+		clusters:  make(map[string]*clusterState),
+	}
+}
+
+// HandleMessage ingests one parsed syslog message.
+func (m *Monitor) HandleMessage(msg logfmt.Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.messages++
+	tpl := m.tree.Learn(msg.Text)
+	st := m.streams[msg.Host]
+	if st == nil {
+		det := m.resolve(msg.Host)
+		if det == nil {
+			return // no model for this host yet
+		}
+		st = det.NewStream()
+		if st == nil {
+			return // detector not trained yet
+		}
+		m.streams[msg.Host] = st
+	}
+	score := st.Push(features.Event{Time: msg.Time, Template: tpl.ID})
+	if score <= m.cfg.Threshold {
+		return
+	}
+	m.anoms++
+	m.observeAnomaly(msg.Host, msg.Time)
+}
+
+// observeAnomaly advances the per-vPE cluster state and emits a warning
+// when a cluster reaches the minimum size (once per cluster).
+func (m *Monitor) observeAnomaly(vpe string, at time.Time) {
+	cs := m.clusters[vpe]
+	if cs == nil || at.Sub(cs.last) > m.cfg.ClusterWindow {
+		m.clusters[vpe] = &clusterState{first: at, last: at, size: 1}
+		return
+	}
+	cs.last = at
+	cs.size++
+	if cs.size >= m.cfg.MinClusterSize && !cs.reported {
+		cs.reported = true
+		w := detect.Warning{VPE: vpe, Time: cs.first, Size: cs.size}
+		m.warnings = append(m.warnings, w)
+		if m.onWarning != nil {
+			m.onWarning(w)
+		}
+	}
+}
+
+// Warnings returns a copy of all warnings emitted so far.
+func (m *Monitor) Warnings() []detect.Warning {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]detect.Warning, len(m.warnings))
+	copy(out, m.warnings)
+	return out
+}
+
+// Counters returns (messages ingested, anomalies flagged).
+func (m *Monitor) Counters() (messages, anomalies uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.messages, m.anoms
+}

@@ -1,0 +1,314 @@
+// Package ingest is the runtime half of the reproduction: a syslog
+// ingestion server (UDP datagrams and TCP with RFC 6587 framing) feeding
+// an online anomaly monitor, so the predictive-analysis system can run
+// "in parallel with existing reactive monitoring systems" (§1) against a
+// live vPE fleet instead of an offline trace.
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"nfvpredict/internal/logfmt"
+)
+
+// ServerConfig configures the listeners.
+type ServerConfig struct {
+	// UDPAddr and TCPAddr are listen addresses ("127.0.0.1:5514");
+	// empty disables that listener. Use port 0 for an ephemeral port.
+	UDPAddr, TCPAddr string
+	// Year resolves RFC 3164 timestamps (which carry no year).
+	Year int
+	// QueueSize bounds the parsed-message queue; when full, messages are
+	// dropped and counted rather than blocking the network readers.
+	QueueSize int
+	// MaxLine bounds a single TCP-framed message.
+	MaxLine int
+}
+
+// DefaultServerConfig returns loopback-friendly defaults.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		UDPAddr:   "127.0.0.1:0",
+		TCPAddr:   "127.0.0.1:0",
+		Year:      2018,
+		QueueSize: 4096,
+		MaxLine:   8192,
+	}
+}
+
+// Stats counts server activity; all fields are cumulative.
+type Stats struct {
+	// Received is the number of well-formed messages accepted.
+	Received uint64
+	// Malformed is the number of lines that failed to parse.
+	Malformed uint64
+	// Dropped is the number of messages discarded on queue overflow.
+	Dropped uint64
+}
+
+// Server receives syslog over UDP and TCP and hands parsed messages to a
+// sink callback from a single dispatcher goroutine (so sinks need no
+// internal locking for per-call state).
+type Server struct {
+	cfg  ServerConfig
+	sink func(logfmt.Message)
+
+	udp     *net.UDPConn
+	tcp     net.Listener
+	queue   chan logfmt.Message
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	closeMu sync.Once
+
+	received  atomic.Uint64
+	malformed atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewServer creates a server delivering parsed messages to sink.
+func NewServer(cfg ServerConfig, sink func(logfmt.Message)) (*Server, error) {
+	if sink == nil {
+		return nil, errors.New("ingest: sink must not be nil")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 4096
+	}
+	if cfg.MaxLine <= 0 {
+		cfg.MaxLine = 8192
+	}
+	if cfg.UDPAddr == "" && cfg.TCPAddr == "" {
+		return nil, errors.New("ingest: at least one of UDPAddr/TCPAddr required")
+	}
+	s := &Server{
+		cfg:    cfg,
+		sink:   sink,
+		queue:  make(chan logfmt.Message, cfg.QueueSize),
+		closed: make(chan struct{}),
+	}
+	if cfg.UDPAddr != "" {
+		addr, err := net.ResolveUDPAddr("udp", cfg.UDPAddr)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: resolving UDP addr: %w", err)
+		}
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: listening UDP: %w", err)
+		}
+		// Syslog senders burst; a generous kernel buffer absorbs spikes
+		// the dispatcher hasn't drained yet. Best-effort: some platforms
+		// clamp the size.
+		_ = conn.SetReadBuffer(4 << 20)
+		s.udp = conn
+	}
+	if cfg.TCPAddr != "" {
+		ln, err := net.Listen("tcp", cfg.TCPAddr)
+		if err != nil {
+			if s.udp != nil {
+				s.udp.Close()
+			}
+			return nil, fmt.Errorf("ingest: listening TCP: %w", err)
+		}
+		s.tcp = ln
+	}
+	return s, nil
+}
+
+// UDPAddr returns the bound UDP address, or nil when UDP is disabled.
+func (s *Server) UDPAddr() net.Addr {
+	if s.udp == nil {
+		return nil
+	}
+	return s.udp.LocalAddr()
+}
+
+// TCPAddr returns the bound TCP address, or nil when TCP is disabled.
+func (s *Server) TCPAddr() net.Addr {
+	if s.tcp == nil {
+		return nil
+	}
+	return s.tcp.Addr()
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Received:  s.received.Load(),
+		Malformed: s.malformed.Load(),
+		Dropped:   s.dropped.Load(),
+	}
+}
+
+// Start launches the reader and dispatcher goroutines; it returns
+// immediately. Cancel ctx or call Close to stop.
+func (s *Server) Start(ctx context.Context) {
+	s.wg.Add(1)
+	go s.dispatch()
+	if s.udp != nil {
+		s.wg.Add(1)
+		go s.readUDP()
+	}
+	if s.tcp != nil {
+		s.wg.Add(1)
+		go s.acceptTCP()
+	}
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Close()
+			case <-s.closed:
+			}
+		}()
+	}
+}
+
+// Close stops the listeners and waits for in-flight work to drain.
+func (s *Server) Close() {
+	s.closeMu.Do(func() {
+		close(s.closed)
+		if s.udp != nil {
+			s.udp.Close()
+		}
+		if s.tcp != nil {
+			s.tcp.Close()
+		}
+	})
+	s.wg.Wait()
+}
+
+// enqueue parses and queues one raw line.
+func (s *Server) enqueue(line []byte) {
+	trimmed := bytes.TrimRight(line, "\r\n")
+	if len(trimmed) == 0 {
+		return
+	}
+	msg, err := logfmt.Parse3164(string(trimmed), s.cfg.Year)
+	if err != nil {
+		s.malformed.Add(1)
+		return
+	}
+	select {
+	case s.queue <- msg:
+		s.received.Add(1)
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// dispatch delivers queued messages to the sink until Close, then drains.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case m := <-s.queue:
+			s.sink(m)
+		case <-s.closed:
+			for {
+				select {
+				case m := <-s.queue:
+					s.sink(m)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// readUDP treats each datagram as one syslog message.
+func (s *Server) readUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.enqueue(buf[:n])
+	}
+}
+
+// acceptTCP serves each connection with RFC 6587 framing.
+func (s *Server) acceptTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveTCP(conn)
+		}()
+	}
+}
+
+// serveTCP reads RFC 6587 frames: octet counting ("123 <pri>...") when the
+// stream starts with a digit, non-transparent LF framing otherwise.
+func (s *Server) serveTCP(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, s.cfg.MaxLine)
+	for {
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+		b, err := r.Peek(1)
+		if err != nil {
+			return
+		}
+		if b[0] >= '1' && b[0] <= '9' {
+			// Octet counting: "<len> <msg>".
+			lenStr, err := r.ReadString(' ')
+			if err != nil {
+				return
+			}
+			n, convErr := strconv.Atoi(lenStr[:len(lenStr)-1])
+			if convErr != nil || n <= 0 || n > s.cfg.MaxLine {
+				s.malformed.Add(1)
+				return // framing is unrecoverable
+			}
+			frame := make([]byte, n)
+			if _, err := io.ReadFull(r, frame); err != nil {
+				return
+			}
+			s.enqueue(frame)
+			continue
+		}
+		// LF framing.
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			s.enqueue(line)
+		}
+		if err != nil {
+			return
+		}
+	}
+}

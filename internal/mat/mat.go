@@ -1,0 +1,435 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// neural-network, clustering and SVM substrates in this repository.
+//
+// The package is deliberately minimal: float64 vectors and row-major
+// matrices with the handful of operations a from-scratch LSTM needs —
+// matrix-vector products, outer products, element-wise maps, numerically
+// stable softmax / log-sum-exp, and Xavier/He initialization. There is no
+// BLAS dependency; everything is written against plain slices so the module
+// builds offline with the standard library only.
+//
+// All operations that could silently corrupt results on shape mismatch
+// panic instead: shape errors are programmer errors, not runtime conditions
+// a caller should handle.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element of v to 0 in place.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to x in place.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Add returns v + w as a new vector.
+func (v Vector) Add(w Vector) Vector {
+	mustSameLen(len(v), len(w), "Vector.Add")
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// AddInPlace sets v = v + w.
+func (v Vector) AddInPlace(w Vector) {
+	mustSameLen(len(v), len(w), "Vector.AddInPlace")
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Sub returns v - w as a new vector.
+func (v Vector) Sub(w Vector) Vector {
+	mustSameLen(len(v), len(w), "Vector.Sub")
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns a*v as a new vector.
+func (v Vector) Scale(a float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = a * v[i]
+	}
+	return out
+}
+
+// ScaleInPlace sets v = a*v.
+func (v Vector) ScaleInPlace(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Axpy sets v = v + a*w (the classic "a x plus y" kernel).
+func (v Vector) Axpy(a float64, w Vector) {
+	mustSameLen(len(v), len(w), "Vector.Axpy")
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// Hadamard returns the element-wise product v ⊙ w.
+func (v Vector) Hadamard(w Vector) Vector {
+	mustSameLen(len(v), len(w), "Vector.Hadamard")
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * w[i]
+	}
+	return out
+}
+
+// HadamardInPlace sets v = v ⊙ w.
+func (v Vector) HadamardInPlace(w Vector) {
+	mustSameLen(len(v), len(w), "Vector.HadamardInPlace")
+	for i := range v {
+		v[i] *= w[i]
+	}
+}
+
+// Dot returns the inner product <v, w>.
+func (v Vector) Dot(w Vector) float64 {
+	mustSameLen(len(v), len(w), "Vector.Dot")
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm1 returns the L1 norm of v.
+func (v Vector) Norm1() float64 {
+	var s float64
+	for i := range v {
+		s += math.Abs(v[i])
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for i := range v {
+		s += v[i]
+	}
+	return s
+}
+
+// Map returns a new vector with f applied to every element.
+func (v Vector) Map(f func(float64) float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = f(v[i])
+	}
+	return out
+}
+
+// MapInPlace applies f to every element of v in place.
+func (v Vector) MapInPlace(f func(float64) float64) {
+	for i := range v {
+		v[i] = f(v[i])
+	}
+}
+
+// ArgMax returns the index of the largest element of v. It panics on an
+// empty vector.
+func (v Vector) ArgMax() int {
+	if len(v) == 0 {
+		panic("mat: ArgMax of empty vector")
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Max returns the largest element of v. It panics on an empty vector.
+func (v Vector) Max() float64 { return v[v.ArgMax()] }
+
+// CosineSimilarity returns the cosine of the angle between v and w,
+// i.e. <v,w> / (|v||w|). If either vector is all-zero it returns 0.
+func CosineSimilarity(v, w Vector) float64 {
+	mustSameLen(len(v), len(w), "CosineSimilarity")
+	var dot, nv, nw float64
+	for i := range v {
+		dot += v[i] * w[i]
+		nv += v[i] * v[i]
+		nw += w[i] * w[i]
+	}
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(nv*nw)
+}
+
+// Softmax returns the softmax of v computed with the max-subtraction trick
+// for numerical stability. The result sums to 1 for any finite input.
+func Softmax(v Vector) Vector {
+	if len(v) == 0 {
+		return Vector{}
+	}
+	m := v.Max()
+	out := make(Vector, len(v))
+	var sum float64
+	for i := range v {
+		e := math.Exp(v[i] - m)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LogSumExp returns log(Σ exp(v_i)) computed stably.
+func LogSumExp(v Vector) float64 {
+	if len(v) == 0 {
+		return math.Inf(-1)
+	}
+	m := v.Max()
+	var sum float64
+	for i := range v {
+		sum += math.Exp(v[i] - m)
+	}
+	return m + math.Log(sum)
+}
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set writes x to row i, column j.
+func (m *Matrix) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a Vector sharing the matrix's backing array.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element of m to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CopyFrom copies the contents of src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("mat: CopyFrom shape mismatch %dx%d <- %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// MulVec returns m·v. v's length must equal m.Cols.
+func (m *Matrix) MulVec(v Vector) Vector {
+	mustSameLen(m.Cols, len(v), "Matrix.MulVec")
+	out := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecAdd sets dst = dst + m·v without allocating. dst's length must equal
+// m.Rows; v's length must equal m.Cols.
+func (m *Matrix) MulVecAdd(dst, v Vector) {
+	mustSameLen(m.Cols, len(v), "Matrix.MulVecAdd input")
+	mustSameLen(m.Rows, len(dst), "Matrix.MulVecAdd output")
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		dst[i] += s
+	}
+}
+
+// TransMulVec returns mᵀ·v. v's length must equal m.Rows.
+func (m *Matrix) TransMulVec(v Vector) Vector {
+	mustSameLen(m.Rows, len(v), "Matrix.TransMulVec")
+	out := make(Vector, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		a := v[i]
+		if a == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			out[j] += a * x
+		}
+	}
+	return out
+}
+
+// TransMulVecAdd sets dst = dst + mᵀ·v without allocating.
+func (m *Matrix) TransMulVecAdd(dst, v Vector) {
+	mustSameLen(m.Rows, len(v), "Matrix.TransMulVecAdd input")
+	mustSameLen(m.Cols, len(dst), "Matrix.TransMulVecAdd output")
+	for i := 0; i < m.Rows; i++ {
+		a := v[i]
+		if a == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			dst[j] += a * x
+		}
+	}
+}
+
+// AddOuter sets m = m + a * (u ⊗ v), i.e. m[i][j] += a * u[i] * v[j].
+// This is the weight-gradient accumulation kernel used by backprop.
+func (m *Matrix) AddOuter(a float64, u, v Vector) {
+	mustSameLen(m.Rows, len(u), "Matrix.AddOuter rows")
+	mustSameLen(m.Cols, len(v), "Matrix.AddOuter cols")
+	for i := 0; i < m.Rows; i++ {
+		s := a * u[i]
+		if s == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range v {
+			row[j] += s * x
+		}
+	}
+}
+
+// AddScaled sets m = m + a*w. Shapes must match.
+func (m *Matrix) AddScaled(a float64, w *Matrix) {
+	if m.Rows != w.Rows || m.Cols != w.Cols {
+		panic(fmt.Sprintf("mat: AddScaled shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, w.Rows, w.Cols))
+	}
+	for i := range m.Data {
+		m.Data[i] += a * w.Data[i]
+	}
+}
+
+// Scale multiplies every element of m by a in place.
+func (m *Matrix) Scale(a float64) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, x := range m.Data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// XavierInit fills m with samples from U(-r, r) where r = sqrt(6/(in+out)),
+// the Glorot uniform initializer. fanIn/fanOut default to Cols/Rows.
+func (m *Matrix) XavierInit(rng *rand.Rand) {
+	r := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * r
+	}
+}
+
+// HeInit fills m with samples from N(0, sqrt(2/fanIn)), the He-normal
+// initializer appropriate for ReLU layers.
+func (m *Matrix) HeInit(rng *rand.Rand) {
+	sd := math.Sqrt(2.0 / float64(m.Cols))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * sd
+	}
+}
+
+// Equal reports whether m and w have identical shape and all elements within
+// tol of each other.
+func (m *Matrix) Equal(w *Matrix, tol float64) bool {
+	if m.Rows != w.Rows || m.Cols != w.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-w.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameLen(a, b int, op string) {
+	if a != b {
+		panic(fmt.Sprintf("mat: %s length mismatch: %d vs %d", op, a, b))
+	}
+}

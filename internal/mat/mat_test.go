@@ -1,0 +1,481 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorAddSub(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	sum := v.Add(w)
+	want := Vector{5, 7, 9}
+	for i := range want {
+		if sum[i] != want[i] {
+			t.Fatalf("Add: got %v want %v", sum, want)
+		}
+	}
+	diff := w.Sub(v)
+	for i := range diff {
+		if diff[i] != 3 {
+			t.Fatalf("Sub: got %v", diff)
+		}
+	}
+}
+
+func TestVectorAddInPlace(t *testing.T) {
+	v := Vector{1, 2}
+	v.AddInPlace(Vector{10, 20})
+	if v[0] != 11 || v[1] != 22 {
+		t.Fatalf("AddInPlace: got %v", v)
+	}
+}
+
+func TestVectorScaleAxpy(t *testing.T) {
+	v := Vector{1, -2, 3}
+	s := v.Scale(2)
+	if s[0] != 2 || s[1] != -4 || s[2] != 6 {
+		t.Fatalf("Scale: got %v", s)
+	}
+	y := Vector{1, 1, 1}
+	y.Axpy(3, v)
+	if y[0] != 4 || y[1] != -5 || y[2] != 10 {
+		t.Fatalf("Axpy: got %v", y)
+	}
+}
+
+func TestVectorDotNorm(t *testing.T) {
+	v := Vector{3, 4}
+	if v.Dot(v) != 25 {
+		t.Fatalf("Dot: got %v", v.Dot(v))
+	}
+	if v.Norm2() != 5 {
+		t.Fatalf("Norm2: got %v", v.Norm2())
+	}
+	if v.Norm1() != 7 {
+		t.Fatalf("Norm1: got %v", v.Norm1())
+	}
+}
+
+func TestVectorHadamard(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{2, 3, 4}
+	h := v.Hadamard(w)
+	if h[0] != 2 || h[1] != 6 || h[2] != 12 {
+		t.Fatalf("Hadamard: got %v", h)
+	}
+	v.HadamardInPlace(w)
+	if v[2] != 12 {
+		t.Fatalf("HadamardInPlace: got %v", v)
+	}
+}
+
+func TestVectorArgMax(t *testing.T) {
+	v := Vector{-1, 5, 3, 5}
+	if v.ArgMax() != 1 {
+		t.Fatalf("ArgMax should return first max index, got %d", v.ArgMax())
+	}
+	if v.Max() != 5 {
+		t.Fatalf("Max: got %v", v.Max())
+	}
+}
+
+func TestVectorArgMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vector{}.ArgMax()
+}
+
+func TestVectorMapSumFill(t *testing.T) {
+	v := Vector{1, 2, 3}
+	sq := v.Map(func(x float64) float64 { return x * x })
+	if sq.Sum() != 14 {
+		t.Fatalf("Map/Sum: got %v", sq.Sum())
+	}
+	v.Fill(7)
+	if v.Sum() != 21 {
+		t.Fatalf("Fill: got %v", v)
+	}
+	v.Zero()
+	if v.Sum() != 0 {
+		t.Fatalf("Zero: got %v", v)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone must not share backing array")
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		v := make(Vector, len(raw))
+		for i, x := range raw {
+			// Clamp to a sane range; quick can generate huge values.
+			v[i] = math.Mod(x, 50)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+		}
+		p := Softmax(v)
+		var sum float64
+		for _, x := range p {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	v := Vector{1, 2, 3}
+	p1 := Softmax(v)
+	p2 := Softmax(v.Map(func(x float64) float64 { return x + 1000 }))
+	for i := range p1 {
+		if !almostEqual(p1[i], p2[i], 1e-9) {
+			t.Fatalf("softmax not shift-invariant: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestSoftmaxExtremeValues(t *testing.T) {
+	p := Softmax(Vector{-1e300, 0, 1e300})
+	if math.IsNaN(p[0]) || math.IsNaN(p[2]) {
+		t.Fatalf("softmax produced NaN: %v", p)
+	}
+	if !almostEqual(p[2], 1, 1e-9) {
+		t.Fatalf("expected all mass on max element, got %v", p)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	v := Vector{math.Log(1), math.Log(2), math.Log(3)}
+	if !almostEqual(LogSumExp(v), math.Log(6), 1e-9) {
+		t.Fatalf("LogSumExp: got %v want %v", LogSumExp(v), math.Log(6))
+	}
+	if !math.IsInf(LogSumExp(Vector{}), -1) {
+		t.Fatal("LogSumExp of empty should be -Inf")
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if !almostEqual(CosineSimilarity(Vector{1, 0}, Vector{1, 0}), 1, 1e-12) {
+		t.Fatal("identical vectors should have cosine 1")
+	}
+	if !almostEqual(CosineSimilarity(Vector{1, 0}, Vector{0, 1}), 0, 1e-12) {
+		t.Fatal("orthogonal vectors should have cosine 0")
+	}
+	if !almostEqual(CosineSimilarity(Vector{1, 1}, Vector{-1, -1}), -1, 1e-12) {
+		t.Fatal("opposite vectors should have cosine -1")
+	}
+	if CosineSimilarity(Vector{0, 0}, Vector{1, 2}) != 0 {
+		t.Fatal("zero vector should yield cosine 0")
+	}
+}
+
+func TestCosineSimilarityBounds(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 || n > 32 {
+			return true
+		}
+		v := make(Vector, n)
+		w := make(Vector, n)
+		for i := 0; i < n; i++ {
+			v[i] = math.Mod(a[i], 1e6)
+			w[i] = math.Mod(b[i], 1e6)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+			if math.IsNaN(w[i]) {
+				w[i] = 0
+			}
+		}
+		c := CosineSimilarity(v, w)
+		return c >= -1-1e-9 && c <= 1+1e-9 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 {
+		t.Fatalf("At/Set broken: %v", m.Data)
+	}
+	r := m.Row(1)
+	r[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must alias backing array")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 100)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows: %+v", m)
+	}
+	empty := FromRows(nil)
+	if empty.Rows != 0 || empty.Cols != 0 {
+		t.Fatal("FromRows(nil) should be 0x0")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	out := m.MulVec(Vector{1, 1})
+	want := Vector{3, 7, 11}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("MulVec: got %v want %v", out, want)
+		}
+	}
+}
+
+func TestMulVecAdd(t *testing.T) {
+	m := FromRows([][]float64{{1, 0}, {0, 1}})
+	dst := Vector{10, 20}
+	m.MulVecAdd(dst, Vector{1, 2})
+	if dst[0] != 11 || dst[1] != 22 {
+		t.Fatalf("MulVecAdd: got %v", dst)
+	}
+}
+
+func TestTransMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	out := m.TransMulVec(Vector{1, 1, 1})
+	if out[0] != 9 || out[1] != 12 {
+		t.Fatalf("TransMulVec: got %v", out)
+	}
+	dst := Vector{1, 1}
+	m.TransMulVecAdd(dst, Vector{1, 0, 0})
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("TransMulVecAdd: got %v", dst)
+	}
+}
+
+// TransMulVec must agree with explicitly transposing then multiplying.
+func TestTransMulVecMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMatrix(rows, cols)
+		m.XavierInit(rng)
+		v := NewVector(rows)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		got := m.TransMulVec(v)
+		// Explicit transpose.
+		tr := NewMatrix(cols, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				tr.Set(j, i, m.At(i, j))
+			}
+		}
+		want := tr.MulVec(v)
+		for j := range want {
+			if !almostEqual(got[j], want[j], 1e-12) {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuter(2, Vector{1, 3}, Vector{4, 5})
+	// m[i][j] = 2*u[i]*v[j]
+	if m.At(0, 0) != 8 || m.At(0, 1) != 10 || m.At(1, 0) != 24 || m.At(1, 1) != 30 {
+		t.Fatalf("AddOuter: %v", m.Data)
+	}
+}
+
+func TestAddScaledAndScale(t *testing.T) {
+	m := FromRows([][]float64{{1, 1}})
+	w := FromRows([][]float64{{2, 4}})
+	m.AddScaled(0.5, w)
+	if m.At(0, 0) != 2 || m.At(0, 1) != 3 {
+		t.Fatalf("AddScaled: %v", m.Data)
+	}
+	m.Scale(2)
+	if m.At(0, 0) != 4 || m.At(0, 1) != 6 {
+		t.Fatalf("Scale: %v", m.Data)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, 4}})
+	if !almostEqual(m.FrobeniusNorm(), 5, 1e-12) {
+		t.Fatalf("Frobenius: got %v", m.FrobeniusNorm())
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(10, 20)
+	m.XavierInit(rng)
+	r := math.Sqrt(6.0 / 30.0)
+	var nonZero int
+	for _, x := range m.Data {
+		if math.Abs(x) > r {
+			t.Fatalf("Xavier value %v outside ±%v", x, r)
+		}
+		if x != 0 {
+			nonZero++
+		}
+	}
+	if nonZero < len(m.Data)/2 {
+		t.Fatal("Xavier init suspiciously sparse")
+	}
+}
+
+func TestHeInitVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMatrix(200, 100)
+	m.HeInit(rng)
+	var sum, sumSq float64
+	for _, x := range m.Data {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(m.Data))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	want := 2.0 / 100.0
+	if math.Abs(variance-want) > want*0.2 {
+		t.Fatalf("He variance %v, want ~%v", variance, want)
+	}
+}
+
+func TestMatrixEqual(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1, 2.0000001}})
+	if !a.Equal(b, 1e-3) {
+		t.Fatal("should be equal within tol")
+	}
+	if a.Equal(b, 1e-12) {
+		t.Fatal("should differ at tight tol")
+	}
+	c := NewMatrix(2, 1)
+	if a.Equal(c, 1) {
+		t.Fatal("shape mismatch should not be equal")
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { Vector{1}.Add(Vector{1, 2}) },
+		func() { Vector{1}.Dot(Vector{1, 2}) },
+		func() { NewMatrix(2, 2).MulVec(Vector{1}) },
+		func() { NewMatrix(2, 2).TransMulVec(Vector{1}) },
+		func() { NewMatrix(2, 2).AddOuter(1, Vector{1}, Vector{1, 2}) },
+		func() { NewMatrix(2, 2).AddScaled(1, NewMatrix(1, 2)) },
+		func() { NewMatrix(2, 2).CopyFrom(NewMatrix(2, 3)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDotCommutes(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 || n > 32 {
+			return true
+		}
+		v, w := make(Vector, n), make(Vector, n)
+		for i := 0; i < n; i++ {
+			v[i], w[i] = math.Mod(a[i], 1e3), math.Mod(b[i], 1e3)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+			if math.IsNaN(w[i]) {
+				w[i] = 0
+			}
+		}
+		return almostEqual(v.Dot(w), w.Dot(v), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(256, 256)
+	m.XavierInit(rng)
+	v := NewVector(256)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	dst := NewVector(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Zero()
+		m.MulVecAdd(dst, v)
+	}
+}
+
+func BenchmarkSoftmax(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := NewVector(512)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(v)
+	}
+}

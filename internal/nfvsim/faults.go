@@ -1,0 +1,374 @@
+package nfvsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/ticket"
+)
+
+// episode is one fault or maintenance event on one vPE, with the tickets
+// it produces (original plus duplicates).
+type episode struct {
+	vpe     *vpeState
+	cause   ticket.RootCause
+	report  time.Time // ticket report time R
+	repair  time.Time // repair finish
+	tickets []episodeTicket
+}
+
+// episodeTicket carries a ticket plus simulator-local linkage keys used to
+// resolve DuplicateOf IDs after the global sort.
+type episodeTicket struct {
+	t        ticket.Ticket
+	key      int // simulator-local unique key, or -1
+	dupOfKey int // key of the original ticket, or -1
+}
+
+// causeCalibration encodes the Figure 8 shape per root cause.
+type causeCalibration struct {
+	// pOmen is the probability the episode emits an omen burst before
+	// the ticket report (Fig 8 "0 min": Circuit .74, Software .55,
+	// Cable .40, Hardware .28).
+	pOmen float64
+	// pLead15 is the probability an omen burst leads the report by at
+	// least 15 minutes (Q3: Circuit .36, Cable .39, Hardware .38).
+	pLead15 float64
+	// pError is the probability of an error burst within 15 minutes
+	// after the report (Q2: ~80% of tickets show anomalies by +15 min).
+	pError float64
+	// minDur and maxDur bound the ticket (infected-period) duration.
+	minDur, maxDur time.Duration
+}
+
+// calibration maps each cause to its Figure 8 parameters.
+var calibration = map[ticket.RootCause]causeCalibration{
+	ticket.Circuit:     {pOmen: 0.74, pLead15: 0.36, pError: 0.85, minDur: 1 * time.Hour, maxDur: 6 * time.Hour},
+	ticket.Software:    {pOmen: 0.55, pLead15: 0.30, pError: 0.85, minDur: 30 * time.Minute, maxDur: 4 * time.Hour},
+	ticket.Cable:       {pOmen: 0.40, pLead15: 0.39, pError: 0.80, minDur: 2 * time.Hour, maxDur: 12 * time.Hour},
+	ticket.Hardware:    {pOmen: 0.28, pLead15: 0.38, pError: 0.80, minDur: 4 * time.Hour, maxDur: 48 * time.Hour},
+	ticket.Duplicate:   {pOmen: 0.30, pLead15: 0.30, pError: 0.85, minDur: 30 * time.Minute, maxDur: 3 * time.Hour},
+	ticket.Maintenance: {pOmen: 0.0, pLead15: 0.0, pError: 0.95, minDur: 1 * time.Hour, maxDur: 3 * time.Hour},
+}
+
+// faultCauseWeights sets the relative mix of non-maintenance root causes
+// (Figure 1a: Circuit is the largest non-maintenance, non-duplicate
+// contributor).
+var faultCauseWeights = []struct {
+	cause  ticket.RootCause
+	weight float64
+}{
+	{ticket.Circuit, 0.42},
+	{ticket.Software, 0.22},
+	{ticket.Cable, 0.20},
+	{ticket.Hardware, 0.16},
+}
+
+func pickCause(r *rand.Rand) ticket.RootCause {
+	u := r.Float64()
+	acc := 0.0
+	for _, cw := range faultCauseWeights {
+		acc += cw.weight
+		if u < acc {
+			return cw.cause
+		}
+	}
+	return faultCauseWeights[len(faultCauseWeights)-1].cause
+}
+
+// drawFaultGap draws a per-vPE gap between consecutive faults from a
+// three-component mixture that, merged with the maintenance schedule and
+// follow-up faults, reproduces the Figure 1(b) shape: every gap exceeds
+// 40 minutes, ~20%% of observed gaps fall below 10 hours, ~25%% exceed
+// 1000 hours.
+func drawFaultGap(r *rand.Rand, meanHours float64) time.Duration {
+	scale := meanHours / 833 // 833 h is the mixture's unscaled mean
+	u := r.Float64()
+	var hours float64
+	switch {
+	case u < 0.08:
+		hours = 0.67 + r.Float64()*(10-0.67) // (40 min, 10 h]
+	case u < 0.68:
+		// Log-uniform on (10h, 1000h].
+		hours = 10 * expf(r.Float64()*ln100)
+	default:
+		hours = 1000 * (1 + r.ExpFloat64()*1.2)
+	}
+	hours *= scale
+	// Clamp far below the int64-nanosecond ceiling; 100 years exceeds any
+	// simulation horizon while keeping the Duration conversion exact.
+	const maxHours = 100 * 365 * 24
+	if hours > maxHours {
+		hours = maxHours
+	}
+	return time.Duration(hours * float64(time.Hour))
+}
+
+const ln100 = 4.605170185988092
+
+func expf(x float64) float64 { return math.Exp(x) }
+
+// scheduleEpisodes builds the maintenance and fault schedules for every
+// vPE, including duplicate tickets that trail unresolved faults.
+func (d *Deployment) scheduleEpisodes() []episode {
+	cfg := &d.cfg
+	var eps []episode
+	keyCounter := 0
+	nextKey := func() int { keyCounter++; return keyCounter - 1 }
+
+	for _, v := range d.vpes {
+		r := v.rng
+		// Maintenance: rare windows at night, each producing a clump of
+		// 2-4 tickets spaced 45 min - 2.5 h apart. Clumping keeps
+		// maintenance the dominant ticket category (Figure 1a) without
+		// destroying the >1000 h tail of per-vPE non-duplicated
+		// inter-arrival gaps (Figure 1b).
+		t := cfg.Start.Add(time.Duration(r.Float64() * float64(cfg.MaintenanceEvery)))
+		for t.Before(cfg.End()) {
+			at := time.Date(t.Year(), t.Month(), t.Day(), 1+r.Intn(4), r.Intn(60), 0, 0, t.Location())
+			clump := 1
+			if r.Float64() < 0.35 {
+				clump = 2
+			}
+			if r.Float64() < 0.08 {
+				clump = 3
+			}
+			for k := 0; k < clump; k++ {
+				cal := calibration[ticket.Maintenance]
+				dur := cal.minDur + time.Duration(r.Float64()*float64(cal.maxDur-cal.minDur))
+				ep := episode{vpe: v, cause: ticket.Maintenance, report: at, repair: at.Add(dur)}
+				ep.tickets = []episodeTicket{{
+					t:        ticket.Ticket{VPE: v.name, Cause: ticket.Maintenance, Report: at, Repair: at.Add(dur)},
+					key:      nextKey(),
+					dupOfKey: -1,
+				}}
+				if at.After(cfg.Start) && at.Before(cfg.End()) {
+					eps = append(eps, ep)
+				}
+				at = at.Add(45*time.Minute + time.Duration(r.Float64()*float64(105*time.Minute)))
+			}
+			t = t.Add(time.Duration((0.7 + 0.6*r.Float64()) * float64(cfg.MaintenanceEvery)))
+		}
+
+		// Faults: heavy-tailed gaps scaled by the vPE's fault multiplier.
+		// A quarter of faults trigger a follow-up incident (a different
+		// root cause) a few hours later — the multi-ticket incidents that
+		// put ~20%% of Figure 1(b)'s gap mass under 10 hours.
+		ft := cfg.Start.Add(drawFaultGap(r, cfg.MeanFaultGapHours/v.faultMult))
+		for ft.Before(cfg.End()) {
+			cause := pickCause(r)
+			eps = append(eps, d.makeFaultEpisode(v, cause, ft, nextKey, r))
+			if r.Float64() < 0.25 {
+				follow := ft.Add(time.Hour + time.Duration(r.Float64()*float64(7*time.Hour)))
+				if follow.Before(cfg.End()) {
+					eps = append(eps, d.makeFaultEpisode(v, pickCause(r), follow, nextKey, r))
+				}
+			}
+			ft = ft.Add(drawFaultGap(r, cfg.MeanFaultGapHours/v.faultMult))
+		}
+	}
+	return eps
+}
+
+// makeFaultEpisode builds one fault episode plus any duplicate tickets.
+func (d *Deployment) makeFaultEpisode(v *vpeState, cause ticket.RootCause, report time.Time, nextKey func() int, r *rand.Rand) episode {
+	cal := calibration[cause]
+	dur := cal.minDur + time.Duration(r.Float64()*float64(cal.maxDur-cal.minDur))
+	repair := report.Add(dur)
+	ep := episode{vpe: v, cause: cause, report: report, repair: repair}
+	origKey := nextKey()
+	ep.tickets = []episodeTicket{{
+		t:        ticket.Ticket{VPE: v.name, Cause: cause, Report: report, Repair: repair},
+		key:      origKey,
+		dupOfKey: -1,
+	}}
+	// Duplicates trail the original in a burst while it stays unresolved.
+	if r.Float64() < d.cfg.DupProb {
+		n := 1 + r.Intn(2)
+		dt := report
+		for k := 0; k < n; k++ {
+			dt = dt.Add(time.Duration(10+r.Intn(40)) * time.Minute)
+			if !dt.Before(repair) {
+				break
+			}
+			dcal := calibration[ticket.Duplicate]
+			ddur := dcal.minDur + time.Duration(r.Float64()*float64(dcal.maxDur-dcal.minDur))
+			drep := dt.Add(ddur)
+			if drep.After(repair) {
+				drep = repair
+			}
+			ep.tickets = append(ep.tickets, episodeTicket{
+				t:        ticket.Ticket{VPE: v.name, Cause: ticket.Duplicate, Report: dt, Repair: drep},
+				key:      nextKey(),
+				dupOfKey: origKey,
+			})
+		}
+	}
+	return ep
+}
+
+// scheduleCoreIncidents creates rare fleet-wide events: a core-router
+// problem disrupts most vPEs in the same interval (the vertical bars of
+// Figure 2).
+func (d *Deployment) scheduleCoreIncidents() []episode {
+	cfg := &d.cfg
+	r := rand.New(rand.NewSource(cfg.Seed + 424242))
+	horizon := cfg.End().Sub(cfg.Start)
+	expected := cfg.CoreIncidentsPerMonth * float64(cfg.Months)
+	n := poisson(r, expected)
+	var eps []episode
+	keyBase := 1 << 20 // disjoint from per-vPE keys
+	for i := 0; i < n; i++ {
+		at := cfg.Start.Add(time.Duration(r.Float64() * float64(horizon)))
+		share := 0.5 + r.Float64()*0.3
+		for _, v := range d.vpes {
+			if r.Float64() > share {
+				continue
+			}
+			report := at.Add(time.Duration(r.Intn(40)) * time.Minute)
+			cal := calibration[ticket.Circuit]
+			dur := cal.minDur + time.Duration(r.Float64()*float64(cal.maxDur-cal.minDur))
+			key := keyBase
+			keyBase++
+			eps = append(eps, episode{
+				vpe: v, cause: ticket.Circuit, report: report, repair: report.Add(dur),
+				tickets: []episodeTicket{{
+					t:        ticket.Ticket{VPE: v.name, Cause: ticket.Circuit, Report: report, Repair: report.Add(dur)},
+					key:      key,
+					dupOfKey: -1,
+				}},
+			})
+		}
+	}
+	return eps
+}
+
+// poisson draws a Poisson variate by inversion (small means only).
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := expf(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// renderEpisode emits the syslog footprint of an episode: an optional
+// omen burst ahead of the report (Fig 8 lead-time structure), an error
+// burst shortly after the report, and scattered errors through the
+// infected period. Burst messages arrive seconds apart, matching the
+// paper's observation that per-ticket anomalies cluster within a minute
+// (§5.1), which is what makes the ≥2-anomaly warning rule effective.
+func (d *Deployment) renderEpisode(ep *episode) []logfmt.Message {
+	v := ep.vpe
+	r := v.rng
+	cal := calibration[ep.cause]
+	var msgs []logfmt.Message
+
+	if ep.cause == ticket.Maintenance {
+		// Maintenance windows log config/package activity from slightly
+		// before the ticket through the window.
+		maintFams := FamiliesByClass(d.fams, ClassMaintenance)
+		t := ep.report.Add(-time.Duration(r.Intn(10)) * time.Minute)
+		for t.Before(ep.repair) {
+			fi := maintFams[r.Intn(len(maintFams))]
+			msgs = append(msgs, d.render(v, fi, t))
+			t = t.Add(time.Duration(2+r.Intn(10)) * time.Minute)
+		}
+		return msgs
+	}
+
+	omenFams := FamiliesByCause(d.fams, ClassOmen, ep.cause)
+	if ep.cause == ticket.Duplicate {
+		// Duplicates inherit the generic protocol-trouble signature.
+		omenFams = FamiliesByCause(d.fams, ClassOmen, ticket.Software)
+	}
+	errFams := FamiliesByCause(d.fams, ClassError, ep.cause)
+	if len(errFams) == 0 {
+		errFams = FamiliesByCause(d.fams, ClassError, ticket.Duplicate)
+	}
+
+	// Omen burst before the report.
+	if len(omenFams) > 0 && r.Float64() < cal.pOmen {
+		var lead time.Duration
+		if r.Float64() < cal.pLead15 {
+			lead = 15*time.Minute + time.Duration(r.Float64()*float64(25*time.Minute))
+		} else {
+			lead = 3*time.Minute + time.Duration(r.Float64()*float64(9*time.Minute))
+		}
+		burstLen := 2 + poisson(r, 2)
+		t := ep.report.Add(-lead)
+		for k := 0; k < burstLen; k++ {
+			fi := omenFams[r.Intn(len(omenFams))]
+			msgs = append(msgs, d.render(v, fi, t))
+			t = t.Add(time.Duration(5+r.Intn(40)) * time.Second)
+		}
+	}
+
+	// Error burst shortly after the report.
+	if len(errFams) > 0 && r.Float64() < cal.pError {
+		t := ep.report.Add(time.Duration(r.Float64() * float64(8*time.Minute)))
+		burstLen := 3 + poisson(r, 3)
+		for k := 0; k < burstLen; k++ {
+			fi := errFams[r.Intn(len(errFams))]
+			msgs = append(msgs, d.render(v, fi, t))
+			t = t.Add(time.Duration(2+r.Intn(30)) * time.Second)
+		}
+	}
+
+	// Scattered errors through the infected period.
+	t := ep.report.Add(time.Duration(15+r.Intn(30)) * time.Minute)
+	for t.Before(ep.repair) {
+		if len(errFams) > 0 && r.Float64() < 0.7 {
+			fi := errFams[r.Intn(len(errFams))]
+			msgs = append(msgs, d.render(v, fi, t))
+		}
+		t = t.Add(time.Duration(20+r.Intn(60)) * time.Minute)
+	}
+	return msgs
+}
+
+// generateGlitches emits benign anomaly bursts: short clusters of omen or
+// rare-family messages with no associated ticket. They are drawn from the
+// same families as real omens, so no detector can separate them from true
+// early warnings — they bound achievable precision exactly as unexplained
+// anomalies do in the paper's production data.
+func (d *Deployment) generateGlitches(v *vpeState) []logfmt.Message {
+	cfg := &d.cfg
+	if cfg.GlitchesPerDay <= 0 {
+		return nil
+	}
+	r := v.rng
+	omens := FamiliesByClass(d.fams, ClassOmen)
+	rares := FamiliesByClass(d.fams, ClassRare)
+	meanGap := time.Duration(float64(24*time.Hour) / cfg.GlitchesPerDay)
+	var msgs []logfmt.Message
+	t := cfg.Start.Add(expDur(r, meanGap))
+	for t.Before(cfg.End()) {
+		burst := 2 + r.Intn(2)
+		at := t
+		var fi int
+		if r.Float64() < 0.75 {
+			fi = omens[r.Intn(len(omens))]
+		} else {
+			fi = rares[r.Intn(len(rares))]
+		}
+		for k := 0; k < burst; k++ {
+			msgs = append(msgs, d.render(v, fi, at))
+			at = at.Add(time.Duration(10+r.Intn(35)) * time.Second)
+		}
+		t = t.Add(expDur(r, meanGap))
+	}
+	return msgs
+}

@@ -1,0 +1,389 @@
+// Package nfvsim simulates the NFV deployment the paper measured: a fleet
+// of virtualized provider-edge routers (vPEs) emitting syslog and trouble
+// tickets over an 18-month horizon. It substitutes for the proprietary
+// tier-1 ISP dataset (see DESIGN.md §2) while preserving the phenomena the
+// paper's method must cope with:
+//
+//   - structured normal syslog (motif sequences over message templates)
+//     with per-role and per-vPE diversity (§3.3, Figure 3);
+//   - rare fault episodes per root cause whose omen messages precede the
+//     trouble-ticket report time with the per-cause probabilities and lead
+//     times of Figure 8;
+//   - heavy-tailed ticket inter-arrival (Figure 1b), maintenance-dominated
+//     ticket mix (Figure 1a), duplicate-ticket bursts, and rare fleet-wide
+//     core-router incidents (Figure 2);
+//   - a mid-trace system update that abruptly changes syslog distributions
+//     (§3.3) and obsoletes models trained before it (Figure 7);
+//   - an optional physical-PE fleet whose extra physical-layer logging
+//     reproduces the "vPE logs are 77% smaller" observation (§2).
+package nfvsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/ticket"
+)
+
+// Class categorizes a template family by its role in the simulation.
+type Class int
+
+// Template family classes.
+const (
+	// ClassNormal families appear during normal operation.
+	ClassNormal Class = iota
+	// ClassRare families are normal but infrequent — the "minority
+	// patterns" whose false alarms the paper's over-sampling fixes (§4.2).
+	ClassRare
+	// ClassOmen families precede a ticket of the associated cause —
+	// the early-warning signal the paper hunts for.
+	ClassOmen
+	// ClassError families appear during the infected period of a ticket.
+	ClassError
+	// ClassMaintenance families appear around maintenance windows.
+	ClassMaintenance
+	// ClassPhysical families appear only on physical PEs (optics, fans,
+	// environmental), giving pPEs their extra log volume.
+	ClassPhysical
+	// ClassPostUpdate families appear only after the system update,
+	// shifting syslog distributions.
+	ClassPostUpdate
+)
+
+// Family is one syslog message family: a fixed textual structure with
+// variable fields, corresponding 1:1 with a signature-tree template.
+type Family struct {
+	// Name identifies the family.
+	Name string
+	// Class is the family's simulation role.
+	Class Class
+	// Cause associates omen/error families with a ticket root cause.
+	Cause ticket.RootCause
+	// Tag is the emitting daemon.
+	Tag string
+	// Facility and Severity set the syslog PRI.
+	Facility logfmt.Facility
+	Severity logfmt.Severity
+	// Render produces the message text with fresh variable fields.
+	Render func(r *rand.Rand) string
+}
+
+func iface(r *rand.Rand) string {
+	kinds := []string{"ge", "xe", "et"}
+	return fmt.Sprintf("%s-%d/%d/%d", kinds[r.Intn(len(kinds))], r.Intn(2), r.Intn(4), r.Intn(8))
+}
+
+func ipv4(r *rand.Rand) string {
+	return fmt.Sprintf("10.%d.%d.%d", r.Intn(256), r.Intn(256), 1+r.Intn(254))
+}
+
+// Library returns the full template-family catalog. The catalog is fixed;
+// per-role subsets are chosen by buildRoles.
+func Library() []Family {
+	var fams []Family
+	add := func(f Family) { fams = append(fams, f) }
+
+	// --- Normal control-plane and data-plane chatter -------------------
+	add(Family{Name: "bgp_keepalive", Class: ClassNormal, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("bgp_process_keepalive peer %s AS %d holdtime refreshed", ipv4(r), 64500+r.Intn(100))
+		}})
+	add(Family{Name: "bgp_update_recv", Class: ClassNormal, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("bgp_read_v4_update peer %s received %d prefixes", ipv4(r), 1+r.Intn(400))
+		}})
+	add(Family{Name: "ospf_hello", Class: ClassNormal, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("OSPF hello from neighbor %s on %s processed", ipv4(r), iface(r))
+		}})
+	add(Family{Name: "ldp_session_keep", Class: ClassNormal, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("LDP session %s keepalive exchanged label space %d", ipv4(r), r.Intn(8))
+		}})
+	add(Family{Name: "snmp_get", Class: ClassNormal, Tag: "snmpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("SNMP_GET_REQUEST from manager %s oid ifHCInOctets.%d", ipv4(r), r.Intn(512))
+		}})
+	add(Family{Name: "ifmib_poll", Class: ClassNormal, Tag: "mib2d", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("interface statistics poll completed for %s in %d ms", iface(r), 1+r.Intn(90))
+		}})
+	add(Family{Name: "fpc_telemetry", Class: ClassNormal, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("fpc %d cpu utilization %d percent memory %d percent", r.Intn(4), 5+r.Intn(60), 20+r.Intn(50))
+		}})
+	add(Family{Name: "re_telemetry", Class: ClassNormal, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("routing engine load average %d.%02d tasks %d", r.Intn(3), r.Intn(100), 100+r.Intn(200))
+		}})
+	add(Family{Name: "vm_heartbeat", Class: ClassNormal, Tag: "vmmd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("hypervisor heartbeat acknowledged seq %d latency %d us", r.Intn(100000), 50+r.Intn(900))
+		}})
+	add(Family{Name: "vnf_health", Class: ClassNormal, Tag: "vnfmgr", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("vnf health probe ok instance vpe-fwd-%d rtt %d us", r.Intn(4), 100+r.Intn(2000))
+		}})
+	add(Family{Name: "arp_learn", Class: ClassNormal, Tag: "kernel", Facility: logfmt.FacKernel, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("arp entry learned %s on %s", ipv4(r), iface(r))
+		}})
+	add(Family{Name: "fib_update", Class: ClassNormal, Tag: "kernel", Facility: logfmt.FacKernel, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("fib download complete %d routes changed table inet.%d", 1+r.Intn(5000), r.Intn(4))
+		}})
+	add(Family{Name: "cos_stats", Class: ClassNormal, Tag: "cosd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("cos queue stats exported %s queue %d drops %d", iface(r), r.Intn(8), r.Intn(10))
+		}})
+	add(Family{Name: "lacp_status", Class: ClassNormal, Tag: "lacpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("lacp aggregate ae%d member %s collecting distributing", r.Intn(8), iface(r))
+		}})
+	add(Family{Name: "sshd_login", Class: ClassNormal, Tag: "sshd", Facility: logfmt.FacAuth, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("accepted publickey for netops from %s port %d", ipv4(r), 20000+r.Intn(40000))
+		}})
+	add(Family{Name: "cli_command", Class: ClassNormal, Tag: "mgd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("UI_CMDLINE_READ_LINE user netops command show interfaces %s", iface(r))
+		}})
+	add(Family{Name: "bfd_session", Class: ClassNormal, Tag: "bfdd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("bfd session %s state up interval %d ms multiplier 3", ipv4(r), 100+100*r.Intn(3))
+		}})
+	add(Family{Name: "isis_adjacency", Class: ClassNormal, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("isis adjacency refresh level 2 neighbor %s snpa %d", ipv4(r), r.Intn(1000))
+		}})
+	add(Family{Name: "pfe_stats", Class: ClassNormal, Tag: "pfed", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("pfe traffic statistics slot %d pps %d exported", r.Intn(4), r.Intn(900000))
+		}})
+	add(Family{Name: "ntp_sync", Class: ClassNormal, Tag: "ntpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("ntp clock synchronized to %s stratum 2 offset %d us", ipv4(r), r.Intn(4000))
+		}})
+	add(Family{Name: "dhcp_relay", Class: ClassNormal, Tag: "jdhcpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("dhcp relay forwarded discover on %s to server %s", iface(r), ipv4(r))
+		}})
+	add(Family{Name: "mpls_lsp", Class: ClassNormal, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("mpls lsp reoptimized to %s metric %d hops %d", ipv4(r), 10+r.Intn(100), 2+r.Intn(6))
+		}})
+	add(Family{Name: "firewall_counter", Class: ClassNormal, Tag: "dfwd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("firewall filter edge-protect term %d matched %d packets", r.Intn(16), r.Intn(100000))
+		}})
+	add(Family{Name: "vrrp_advert", Class: ClassNormal, Tag: "vrrpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("vrrp group %d master advertisement on %s priority %d", r.Intn(16), iface(r), 100+r.Intn(150))
+		}})
+
+	// --- Rare-but-normal minority patterns -----------------------------
+	add(Family{Name: "rare_license_audit", Class: ClassRare, Tag: "mgd", Facility: logfmt.FacDaemon, Severity: logfmt.Notice,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("license usage audit completed features %d compliant", 3+r.Intn(9))
+		}})
+	add(Family{Name: "rare_cert_renew", Class: ClassRare, Tag: "pkid", Facility: logfmt.FacDaemon, Severity: logfmt.Notice,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("local certificate renewal scheduled in %d days", 1+r.Intn(30))
+		}})
+	add(Family{Name: "rare_storage_gc", Class: ClassRare, Tag: "mgd", Facility: logfmt.FacDaemon, Severity: logfmt.Notice,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("log storage cleanup reclaimed %d megabytes", 10+r.Intn(500))
+		}})
+	add(Family{Name: "rare_redundancy_check", Class: ClassRare, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Notice,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("redundancy audit passed groups %d switchover ready", 1+r.Intn(4))
+		}})
+
+	// --- Omens per root cause ------------------------------------------
+	add(Family{Name: "omen_circuit_flap", Class: ClassOmen, Cause: ticket.Circuit, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Warning,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("BGP_UNUSABLE_ASPATH bgp reject path from peer %s flap count %d", ipv4(r), 2+r.Intn(20))
+		}})
+	add(Family{Name: "omen_circuit_crc", Class: ClassOmen, Cause: ticket.Circuit, Tag: "kernel", Facility: logfmt.FacKernel, Severity: logfmt.Warning,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("crc errors increasing on %s framing errors %d", iface(r), 10+r.Intn(400))
+		}})
+	add(Family{Name: "omen_circuit_holddown", Class: ClassOmen, Cause: ticket.Circuit, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Warning,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("interface %s hold-down timer armed transitions %d", iface(r), 2+r.Intn(9))
+		}})
+	add(Family{Name: "omen_cable_light", Class: ClassOmen, Cause: ticket.Cable, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Warning,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("optical rx power low on %s dbm -%d.%d", iface(r), 20+r.Intn(10), r.Intn(10))
+		}})
+	add(Family{Name: "omen_cable_sfp", Class: ClassOmen, Cause: ticket.Cable, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Warning,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("sfp diagnostics warning lane %d bias current abnormal", r.Intn(4))
+		}})
+	add(Family{Name: "omen_hw_parity", Class: ClassOmen, Cause: ticket.Hardware, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Warning,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("parity error corrected fpc %d asic %d count %d", r.Intn(4), r.Intn(4), 1+r.Intn(12))
+		}})
+	add(Family{Name: "omen_hw_voltage", Class: ClassOmen, Cause: ticket.Hardware, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Warning,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("voltage rail deviation slot %d sensor %d millivolts", r.Intn(4), 2900+r.Intn(400))
+		}})
+	add(Family{Name: "omen_sw_chassis_peer", Class: ClassOmen, Cause: ticket.Software, Tag: "vnfmgr", Facility: logfmt.FacDaemon, Severity: logfmt.Error,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("invalid response from peer chassis-control session %d retries %d", r.Intn(64), 1+r.Intn(5))
+		}})
+	add(Family{Name: "omen_sw_memleak", Class: ClassOmen, Cause: ticket.Software, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Warning,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("task memory watermark exceeded rss %d megabytes growth %d", 800+r.Intn(2000), 1+r.Intn(40))
+		}})
+	add(Family{Name: "omen_sw_sched", Class: ClassOmen, Cause: ticket.Software, Tag: "kernel", Facility: logfmt.FacKernel, Severity: logfmt.Warning,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("scheduler slip detected %d ms thread rpd-main", 100+r.Intn(4000))
+		}})
+
+	// --- Infected-period errors per root cause -------------------------
+	add(Family{Name: "err_circuit_down", Class: ClassError, Cause: ticket.Circuit, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Error,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("SNMP_TRAP_LINK_DOWN ifIndex %d interface %s circuit down", 500+r.Intn(200), iface(r))
+		}})
+	add(Family{Name: "err_circuit_bgp_idle", Class: ClassError, Cause: ticket.Circuit, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Error,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("bgp peer %s state change established to idle code %d", ipv4(r), 1+r.Intn(6))
+		}})
+	add(Family{Name: "err_cable_los", Class: ClassError, Cause: ticket.Cable, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Error,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("loss of signal on %s transceiver lane %d", iface(r), r.Intn(4))
+		}})
+	add(Family{Name: "err_hw_fpc_crash", Class: ClassError, Cause: ticket.Hardware, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Critical,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("fpc %d major errors detected offline requested core %d", r.Intn(4), r.Intn(100000))
+		}})
+	add(Family{Name: "err_sw_daemon_restart", Class: ClassError, Cause: ticket.Software, Tag: "init", Facility: logfmt.FacDaemon, Severity: logfmt.Critical,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("process rpd pid %d terminated signal %d restarting", 1000+r.Intn(60000), 6+r.Intn(6))
+		}})
+	add(Family{Name: "err_generic_protocol", Class: ClassError, Cause: ticket.Duplicate, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Error,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("protocol timeout waiting for peer %s retry %d backoff", ipv4(r), 1+r.Intn(8))
+		}})
+
+	// --- Maintenance ----------------------------------------------------
+	add(Family{Name: "maint_config_commit", Class: ClassMaintenance, Cause: ticket.Maintenance, Tag: "mgd", Facility: logfmt.FacDaemon, Severity: logfmt.Notice,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("UI_COMMIT user netops commit confirmed rollback pending %d", r.Intn(10))
+		}})
+	add(Family{Name: "maint_package_add", Class: ClassMaintenance, Cause: ticket.Maintenance, Tag: "mgd", Facility: logfmt.FacDaemon, Severity: logfmt.Notice,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("package staged build %d.%dR%d validated", 17+r.Intn(3), 1+r.Intn(4), 1+r.Intn(3))
+		}})
+	add(Family{Name: "maint_graceful_switch", Class: ClassMaintenance, Cause: ticket.Maintenance, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Notice,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("graceful routing engine switchover step %d of %d complete", 1+r.Intn(5), 5)
+		}})
+
+	// --- Physical-layer families (pPE only) ----------------------------
+	add(Family{Name: "phys_fan_rpm", Class: ClassPhysical, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("fan tray %d rpm %d within nominal range", r.Intn(4), 3000+r.Intn(4000))
+		}})
+	add(Family{Name: "phys_temp_sensor", Class: ClassPhysical, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("temperature sensor zone %d reads %d celsius", r.Intn(8), 25+r.Intn(35))
+		}})
+	add(Family{Name: "phys_psu_status", Class: ClassPhysical, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("power supply %d output %d watts nominal", r.Intn(4), 400+r.Intn(800))
+		}})
+	add(Family{Name: "phys_optics_dbm", Class: ClassPhysical, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("optics monitor %s tx %d.%d dbm rx ok", iface(r), r.Intn(4), r.Intn(10))
+		}})
+	add(Family{Name: "phys_fabric_healing", Class: ClassPhysical, Tag: "sfc", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("fabric plane %d healing check passed cells %d", r.Intn(8), r.Intn(100000))
+		}})
+	add(Family{Name: "phys_linecard_env", Class: ClassPhysical, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("linecard %d environmental sweep humidity %d percent", r.Intn(8), 20+r.Intn(40))
+		}})
+
+	// --- Post-update families (appear only after the system update) ----
+	add(Family{Name: "upd_telemetry_stream", Class: ClassPostUpdate, Tag: "telemetryd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("grpc telemetry stream exported %d sensors seq %d", 4+r.Intn(40), r.Intn(1000000))
+		}})
+	add(Family{Name: "upd_flow_agent", Class: ClassPostUpdate, Tag: "flowd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("ipfix export flushed %d flows to collector %s", r.Intn(5000), ipv4(r))
+		}})
+	add(Family{Name: "upd_policy_engine", Class: ClassPostUpdate, Tag: "pfed", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("policy engine v2 evaluated %d rules in %d us", 10+r.Intn(200), 100+r.Intn(5000))
+		}})
+	add(Family{Name: "upd_container_probe", Class: ClassPostUpdate, Tag: "vnfmgr", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("container liveness probe passed pod vpe-ctrl-%d restarts %d", r.Intn(8), r.Intn(3))
+		}})
+	add(Family{Name: "upd_sync_daemon", Class: ClassPostUpdate, Tag: "syncd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("state sync cycle committed %d objects generation %d", r.Intn(900), r.Intn(100000))
+		}})
+	add(Family{Name: "upd_analytics", Class: ClassPostUpdate, Tag: "telemetryd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("analytics pipeline heartbeat lag %d ms shards %d", r.Intn(400), 1+r.Intn(16))
+		}})
+
+	// v2 variants of common chatter: a software update rewrites existing
+	// daemons' message formats, so post-update vPEs swap much of their
+	// core distribution for these (the §3.3 cosine collapse).
+	add(Family{Name: "upd_bgp_v2", Class: ClassPostUpdate, Tag: "rpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("BGP2 session heartbeat peer %s epoch %d state steady", ipv4(r), r.Intn(100000))
+		}})
+	add(Family{Name: "upd_ifmib_v2", Class: ClassPostUpdate, Tag: "mib2d", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("ifmib bulk snapshot emitted port %s counters %d", iface(r), r.Intn(64))
+		}})
+	add(Family{Name: "upd_chassis_v2", Class: ClassPostUpdate, Tag: "chassisd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("chassis health digest generation %d score %d of 100", r.Intn(100000), 70+r.Intn(30))
+		}})
+	add(Family{Name: "upd_snmp_v2", Class: ClassPostUpdate, Tag: "snmpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("snmp agentx subtree refresh handled %d oids in %d us", r.Intn(400), 100+r.Intn(9000))
+		}})
+	add(Family{Name: "upd_arp_v2", Class: ClassPostUpdate, Tag: "kernel", Facility: logfmt.FacKernel, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("neighbor cache reconciled %d entries table bridge.%d", r.Intn(3000), r.Intn(4))
+		}})
+	add(Family{Name: "upd_lacp_v2", Class: ClassPostUpdate, Tag: "lacpd", Facility: logfmt.FacDaemon, Severity: logfmt.Info,
+		Render: func(r *rand.Rand) string {
+			return fmt.Sprintf("lag telemetry bundle ae%d members healthy %d degraded %d", r.Intn(8), 1+r.Intn(4), r.Intn(2))
+		}})
+
+	return fams
+}
+
+// FamiliesByClass returns the indices of all families with the given class.
+func FamiliesByClass(fams []Family, c Class) []int {
+	var out []int
+	for i, f := range fams {
+		if f.Class == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FamiliesByCause returns the indices of families with the given class and
+// root cause (for omen/error families).
+func FamiliesByCause(fams []Family, c Class, cause ticket.RootCause) []int {
+	var out []int
+	for i, f := range fams {
+		if f.Class == c && f.Cause == cause {
+			out = append(out, i)
+		}
+	}
+	return out
+}

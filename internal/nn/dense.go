@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math/rand"
+
+	"nfvpredict/internal/mat"
+)
+
+// Dense is a fully connected layer y = f(W·x + b).
+type Dense struct {
+	// In and Out are the input and output widths.
+	In, Out int
+	// Act is the element-wise activation applied to the affine output.
+	Act Activation
+	// Wp and Bp are the weight ([Out×In]) and bias ([1×Out]) parameters.
+	Wp, Bp *Param
+}
+
+// DenseCache holds the per-call state Backward needs. Keeping it external
+// to the layer makes Dense safe to reuse across timesteps of a sequence.
+type DenseCache struct {
+	x mat.Vector // input
+	y mat.Vector // activated output
+}
+
+// NewDense creates a Dense layer with Xavier-initialized weights.
+// name prefixes the parameter names (e.g. "out" → "out.W", "out.b").
+func NewDense(name string, in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		Act: act,
+		Wp:  newParam(name+".W", out, in),
+		Bp:  newParam(name+".b", 1, out),
+	}
+	if act == ReLU {
+		d.Wp.W.HeInit(rng)
+	} else {
+		d.Wp.W.XavierInit(rng)
+	}
+	return d
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.Wp, d.Bp} }
+
+// Forward computes the layer output for x and a cache for Backward.
+func (d *Dense) Forward(x mat.Vector) (mat.Vector, *DenseCache) {
+	y := make(mat.Vector, d.Out)
+	copy(y, d.Bp.W.Row(0))
+	d.Wp.W.MulVecAdd(y, x)
+	if d.Act != Identity {
+		for i := range y {
+			y[i] = d.Act.Apply(y[i])
+		}
+	}
+	return y, &DenseCache{x: x, y: y}
+}
+
+// Infer computes the layer output without building a cache; use it on
+// pure-inference paths (anomaly scoring) where no backward pass follows.
+func (d *Dense) Infer(x mat.Vector) mat.Vector {
+	y, _ := d.Forward(x)
+	return y
+}
+
+// Backward consumes dy = ∂loss/∂y, accumulates ∂loss/∂W and ∂loss/∂b into
+// the layer's parameter gradients, and returns dx = ∂loss/∂x.
+func (d *Dense) Backward(c *DenseCache, dy mat.Vector) mat.Vector {
+	// dz = dy ⊙ f'(y)
+	dz := make(mat.Vector, d.Out)
+	if d.Act == Identity {
+		copy(dz, dy)
+	} else {
+		for i := range dy {
+			dz[i] = dy[i] * d.Act.DerivFromOutput(c.y[i])
+		}
+	}
+	d.Wp.Grad.AddOuter(1, dz, c.x)
+	d.Bp.Grad.Row(0).AddInPlace(dz)
+	dx := make(mat.Vector, d.In)
+	d.Wp.W.TransMulVecAdd(dx, dz)
+	return dx
+}
+
+// clone returns a deep copy of the layer (weights copied, gradients zeroed).
+func (d *Dense) clone() *Dense {
+	out := &Dense{
+		In:  d.In,
+		Out: d.Out,
+		Act: d.Act,
+		Wp:  newParam(d.Wp.Name, d.Wp.W.Rows, d.Wp.W.Cols),
+		Bp:  newParam(d.Bp.Name, d.Bp.W.Rows, d.Bp.W.Cols),
+	}
+	out.Wp.W.CopyFrom(d.Wp.W)
+	out.Bp.W.CopyFrom(d.Bp.W)
+	out.Wp.Frozen = d.Wp.Frozen
+	out.Bp.Frozen = d.Bp.Frozen
+	return out
+}

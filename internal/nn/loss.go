@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"math"
+
+	"nfvpredict/internal/mat"
+)
+
+// SoftmaxCrossEntropy returns the categorical cross-entropy loss of logits
+// against the integer target class, together with ∂loss/∂logits. The loss
+// and gradient are computed jointly (softmax folded into the loss) for the
+// standard numerically stable gradient p − onehot(target).
+func SoftmaxCrossEntropy(logits mat.Vector, target int) (loss float64, dlogits mat.Vector) {
+	if target < 0 || target >= len(logits) {
+		panic("nn: SoftmaxCrossEntropy target out of range")
+	}
+	lse := mat.LogSumExp(logits)
+	loss = lse - logits[target]
+	dlogits = make(mat.Vector, len(logits))
+	m := logits.Max()
+	var sum float64
+	for i, x := range logits {
+		e := math.Exp(x - m)
+		dlogits[i] = e
+		sum += e
+	}
+	for i := range dlogits {
+		dlogits[i] /= sum
+	}
+	dlogits[target] -= 1
+	return loss, dlogits
+}
+
+// LogSoftmax returns log(softmax(logits)) computed stably.
+func LogSoftmax(logits mat.Vector) mat.Vector {
+	lse := mat.LogSumExp(logits)
+	out := make(mat.Vector, len(logits))
+	for i, x := range logits {
+		out[i] = x - lse
+	}
+	return out
+}
+
+// MSE returns the mean squared error ½·mean((y−target)²) and ∂loss/∂y.
+// The ½ keeps the gradient free of a factor of 2, matching the classic
+// autoencoder reconstruction objective.
+func MSE(y, target mat.Vector) (loss float64, dy mat.Vector) {
+	if len(y) != len(target) {
+		panic("nn: MSE length mismatch")
+	}
+	dy = make(mat.Vector, len(y))
+	n := float64(len(y))
+	for i := range y {
+		d := y[i] - target[i]
+		loss += d * d
+		dy[i] = d / n
+	}
+	return loss / (2 * n), dy
+}

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"nfvpredict/internal/mat"
+)
+
+// LSTM is a single Long Short-Term Memory layer (Hochreiter & Schmidhuber,
+// 1997) with the standard i/f/g/o gate parameterization:
+//
+//	z = Wx·x_t + Wh·h_{t-1} + b            (z ∈ R^{4H})
+//	i = σ(z[0:H])   input gate
+//	f = σ(z[H:2H])  forget gate
+//	g = tanh(z[2H:3H]) candidate cell
+//	o = σ(z[3H:4H]) output gate
+//	c_t = f ⊙ c_{t-1} + i ⊙ g
+//	h_t = o ⊙ tanh(c_t)
+//
+// Forget-gate biases are initialized to 1, the usual trick that lets fresh
+// models carry state across early training steps.
+type LSTM struct {
+	// In and Hidden are the input and hidden widths.
+	In, Hidden int
+	// Wxp is the input projection [4H×In], Whp the recurrent projection
+	// [4H×H], and Bp the gate bias [1×4H], ordered i, f, g, o.
+	Wxp, Whp, Bp *Param
+}
+
+// LSTMState is the recurrent state (h, c) carried between timesteps.
+// The zero value is not usable; obtain fresh state from NewState.
+type LSTMState struct {
+	H, C mat.Vector
+}
+
+// NewLSTM creates an LSTM layer with Xavier-initialized projections and
+// forget biases set to 1. name prefixes parameter names.
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In:     in,
+		Hidden: hidden,
+		Wxp:    newParam(name+".Wx", 4*hidden, in),
+		Whp:    newParam(name+".Wh", 4*hidden, hidden),
+		Bp:     newParam(name+".b", 1, 4*hidden),
+	}
+	l.Wxp.W.XavierInit(rng)
+	l.Whp.W.XavierInit(rng)
+	b := l.Bp.W.Row(0)
+	for j := hidden; j < 2*hidden; j++ {
+		b[j] = 1 // forget-gate bias
+	}
+	return l
+}
+
+// Params returns the layer's trainable parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wxp, l.Whp, l.Bp} }
+
+// NewState returns a zeroed recurrent state for this layer.
+func (l *LSTM) NewState() *LSTMState {
+	return &LSTMState{H: mat.NewVector(l.Hidden), C: mat.NewVector(l.Hidden)}
+}
+
+// lstmStep holds everything the backward pass needs for one timestep.
+type lstmStep struct {
+	x            mat.Vector
+	hPrev, cPrev mat.Vector
+	i, f, g, o   mat.Vector
+	c, tanhC, h  mat.Vector
+}
+
+// LSTMCache is the BPTT tape produced by ForwardSeq.
+type LSTMCache struct {
+	steps []lstmStep
+}
+
+// Step advances the recurrent state by one input and returns the new
+// hidden output. When cache is non-nil the step is recorded for BPTT;
+// pass nil on inference paths.
+func (l *LSTM) Step(x mat.Vector, st *LSTMState, cache *LSTMCache) mat.Vector {
+	H := l.Hidden
+	z := make(mat.Vector, 4*H)
+	copy(z, l.Bp.W.Row(0))
+	l.Wxp.W.MulVecAdd(z, x)
+	l.Whp.W.MulVecAdd(z, st.H)
+
+	i := make(mat.Vector, H)
+	f := make(mat.Vector, H)
+	g := make(mat.Vector, H)
+	o := make(mat.Vector, H)
+	c := make(mat.Vector, H)
+	tc := make(mat.Vector, H)
+	h := make(mat.Vector, H)
+	for j := 0; j < H; j++ {
+		i[j] = sigmoid(z[j])
+		f[j] = sigmoid(z[H+j])
+		g[j] = math.Tanh(z[2*H+j])
+		o[j] = sigmoid(z[3*H+j])
+		c[j] = f[j]*st.C[j] + i[j]*g[j]
+		tc[j] = math.Tanh(c[j])
+		h[j] = o[j] * tc[j]
+	}
+	if cache != nil {
+		cache.steps = append(cache.steps, lstmStep{
+			x: x, hPrev: st.H, cPrev: st.C,
+			i: i, f: f, g: g, o: o, c: c, tanhC: tc, h: h,
+		})
+	}
+	st.H, st.C = h, c
+	return h
+}
+
+// ForwardSeq runs the layer over xs starting from a zero state and returns
+// the hidden output at every timestep plus the BPTT tape.
+func (l *LSTM) ForwardSeq(xs []mat.Vector) ([]mat.Vector, *LSTMCache) {
+	st := l.NewState()
+	cache := &LSTMCache{steps: make([]lstmStep, 0, len(xs))}
+	hs := make([]mat.Vector, len(xs))
+	for t, x := range xs {
+		hs[t] = l.Step(x, st, cache)
+	}
+	return hs, cache
+}
+
+// BackwardSeq consumes dhs[t] = ∂loss/∂h_t for every timestep, accumulates
+// the parameter gradients, and returns dxs[t] = ∂loss/∂x_t. dhs must have
+// the same length as the forward sequence.
+func (l *LSTM) BackwardSeq(cache *LSTMCache, dhs []mat.Vector) []mat.Vector {
+	H := l.Hidden
+	T := len(cache.steps)
+	if len(dhs) != T {
+		panic("nn: BackwardSeq gradient count mismatch")
+	}
+	dxs := make([]mat.Vector, T)
+	dhNext := mat.NewVector(H) // gradient flowing from t+1 into h_t
+	dcNext := mat.NewVector(H) // gradient flowing from t+1 into c_t
+	dz := make(mat.Vector, 4*H)
+	for t := T - 1; t >= 0; t-- {
+		s := &cache.steps[t]
+		dh := make(mat.Vector, H)
+		for j := 0; j < H; j++ {
+			dh[j] = dhs[t][j] + dhNext[j]
+		}
+		dcNew := make(mat.Vector, H)
+		for j := 0; j < H; j++ {
+			// h = o ⊙ tanh(c)
+			do := dh[j] * s.tanhC[j]
+			dc := dh[j]*s.o[j]*(1-s.tanhC[j]*s.tanhC[j]) + dcNext[j]
+			di := dc * s.g[j]
+			df := dc * s.cPrev[j]
+			dg := dc * s.i[j]
+			dcNew[j] = dc * s.f[j]
+			// Gate pre-activation gradients.
+			dz[j] = di * s.i[j] * (1 - s.i[j])
+			dz[H+j] = df * s.f[j] * (1 - s.f[j])
+			dz[2*H+j] = dg * (1 - s.g[j]*s.g[j])
+			dz[3*H+j] = do * s.o[j] * (1 - s.o[j])
+		}
+		l.Wxp.Grad.AddOuter(1, dz, s.x)
+		l.Whp.Grad.AddOuter(1, dz, s.hPrev)
+		l.Bp.Grad.Row(0).AddInPlace(dz)
+
+		dx := make(mat.Vector, l.In)
+		l.Wxp.W.TransMulVecAdd(dx, dz)
+		dxs[t] = dx
+
+		dhNext.Zero()
+		l.Whp.W.TransMulVecAdd(dhNext, dz)
+		dcNext = dcNew
+	}
+	return dxs
+}
+
+// clone returns a deep copy of the layer (weights copied, gradients zeroed).
+func (l *LSTM) clone() *LSTM {
+	out := &LSTM{
+		In:     l.In,
+		Hidden: l.Hidden,
+		Wxp:    newParam(l.Wxp.Name, l.Wxp.W.Rows, l.Wxp.W.Cols),
+		Whp:    newParam(l.Whp.Name, l.Whp.W.Rows, l.Whp.W.Cols),
+		Bp:     newParam(l.Bp.Name, l.Bp.W.Rows, l.Bp.W.Cols),
+	}
+	out.Wxp.W.CopyFrom(l.Wxp.W)
+	out.Whp.W.CopyFrom(l.Whp.W)
+	out.Bp.W.CopyFrom(l.Bp.W)
+	out.Wxp.Frozen = l.Wxp.Frozen
+	out.Whp.Frozen = l.Whp.Frozen
+	out.Bp.Frozen = l.Bp.Frozen
+	return out
+}

@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nfvpredict/internal/mat"
+)
+
+// Token is one structured syslog event as consumed by the sequence model:
+// the template ID produced by the signature tree plus the time gap to the
+// previous message, the (m_i, t_i − t_{i−1}) tuple of §4.2 of the paper.
+type Token struct {
+	// ID is the template (signature) index in [0, Vocab).
+	ID int
+	// Gap is the time since the previous message in seconds.
+	Gap float64
+}
+
+// SeqModelConfig configures a SequenceModel.
+type SeqModelConfig struct {
+	// Vocab is the number of log templates (output classes).
+	Vocab int
+	// Hidden lists the width of each LSTM layer; the paper uses two
+	// LSTM layers followed by one dense layer.
+	Hidden []int
+	// UseGap adds the log-scaled inter-arrival gap as an extra input
+	// dimension alongside the one-hot template encoding.
+	UseGap bool
+	// Seed makes weight initialization deterministic.
+	Seed int64
+}
+
+// SequenceModel is the paper's LSTM next-template language model: a one-hot
+// template (plus optional time-gap feature) feeds a stack of LSTM layers
+// whose final hidden state feeds one dense layer producing logits over the
+// template vocabulary (§4.2, §5.1: "2 LSTM layers and 1 dense layer").
+type SequenceModel struct {
+	cfg   SeqModelConfig
+	lstms []*LSTM
+	out   *Dense
+}
+
+// NewSequenceModel builds a model per cfg. It panics on a non-positive
+// vocabulary or an empty hidden-layer list, which are programming errors.
+func NewSequenceModel(cfg SeqModelConfig) *SequenceModel {
+	if cfg.Vocab <= 0 {
+		panic("nn: SequenceModel requires positive vocab")
+	}
+	if len(cfg.Hidden) == 0 {
+		panic("nn: SequenceModel requires at least one LSTM layer")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &SequenceModel{cfg: cfg}
+	in := cfg.Vocab
+	if cfg.UseGap {
+		in++
+	}
+	for i, h := range cfg.Hidden {
+		m.lstms = append(m.lstms, NewLSTM(fmt.Sprintf("lstm%d", i), in, h, rng))
+		in = h
+	}
+	m.out = NewDense("out", in, cfg.Vocab, Identity, rng)
+	return m
+}
+
+// Config returns the model's configuration.
+func (m *SequenceModel) Config() SeqModelConfig { return m.cfg }
+
+// InputSize returns the width of the model's input vectors.
+func (m *SequenceModel) InputSize() int {
+	if m.cfg.UseGap {
+		return m.cfg.Vocab + 1
+	}
+	return m.cfg.Vocab
+}
+
+// Params returns all trainable parameters, bottom layer first.
+func (m *SequenceModel) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.lstms {
+		ps = append(ps, l.Params()...)
+	}
+	ps = append(ps, m.out.Params()...)
+	return ps
+}
+
+// NumParams returns the total number of scalar weights.
+func (m *SequenceModel) NumParams() int {
+	var n int
+	for _, p := range m.Params() {
+		n += len(p.W.Data)
+	}
+	return n
+}
+
+// encode converts a token into the model's input vector.
+func (m *SequenceModel) encode(tok Token) mat.Vector {
+	x := mat.NewVector(m.InputSize())
+	id := tok.ID
+	if id < 0 || id >= m.cfg.Vocab {
+		// Unknown templates map to the last class; the signature tree
+		// reserves it for "other".
+		id = m.cfg.Vocab - 1
+	}
+	x[id] = 1
+	if m.cfg.UseGap {
+		x[m.cfg.Vocab] = normalizeGap(tok.Gap)
+	}
+	return x
+}
+
+// normalizeGap maps a non-negative gap in seconds to roughly [0, 1.5] via
+// log scaling; gaps beyond roughly a day saturate.
+func normalizeGap(gap float64) float64 {
+	if gap < 0 {
+		gap = 0
+	}
+	return math.Log1p(gap) / 8.0
+}
+
+// TrainWindow performs one BPTT pass over window, predicting window[t+1].ID
+// from window[0..t] at every position, accumulates gradients, and returns
+// the mean cross-entropy. The caller applies an Optimizer afterwards; this
+// split lets trainers batch several windows per optimizer step.
+// Windows shorter than 2 tokens contribute nothing and return 0.
+func (m *SequenceModel) TrainWindow(window []Token) float64 {
+	if len(window) < 2 {
+		return 0
+	}
+	T := len(window) - 1
+	xs := make([]mat.Vector, T)
+	for t := 0; t < T; t++ {
+		xs[t] = m.encode(window[t])
+	}
+	// Forward through LSTM stack, keeping every layer's tape.
+	caches := make([]*LSTMCache, len(m.lstms))
+	hs := xs
+	for li, l := range m.lstms {
+		hs, caches[li] = l.ForwardSeq(hs)
+	}
+	// Output layer + loss per timestep.
+	var total float64
+	denseCaches := make([]*DenseCache, T)
+	dhs := make([]mat.Vector, T)
+	for t := 0; t < T; t++ {
+		logits, dc := m.out.Forward(hs[t])
+		denseCaches[t] = dc
+		target := window[t+1].ID
+		if target < 0 || target >= m.cfg.Vocab {
+			target = m.cfg.Vocab - 1
+		}
+		loss, dlogits := SoftmaxCrossEntropy(logits, target)
+		total += loss
+		// Scale so gradients are means over the window.
+		dlogits.ScaleInPlace(1 / float64(T))
+		dhs[t] = m.out.Backward(denseCaches[t], dlogits)
+	}
+	// Backward through the LSTM stack, top layer first.
+	grads := dhs
+	for li := len(m.lstms) - 1; li >= 0; li-- {
+		grads = m.lstms[li].BackwardSeq(caches[li], grads)
+	}
+	return total / float64(T)
+}
+
+// StreamState carries the per-layer recurrent state for online scoring.
+type StreamState struct {
+	layers []*LSTMState
+}
+
+// NewStreamState returns a zeroed streaming state.
+func (m *SequenceModel) NewStreamState() *StreamState {
+	st := &StreamState{layers: make([]*LSTMState, len(m.lstms))}
+	for i, l := range m.lstms {
+		st.layers[i] = l.NewState()
+	}
+	return st
+}
+
+// StepLogits feeds one token through the model, advancing st, and returns
+// the logits over the next template.
+func (m *SequenceModel) StepLogits(tok Token, st *StreamState) mat.Vector {
+	h := m.encode(tok)
+	for i, l := range m.lstms {
+		h = l.Step(h, st.layers[i], nil)
+	}
+	return m.out.Infer(h)
+}
+
+// StepLogProbs feeds one token and returns log-probabilities over the next
+// template, the quantity thresholded by the anomaly detector.
+func (m *SequenceModel) StepLogProbs(tok Token, st *StreamState) mat.Vector {
+	return LogSoftmax(m.StepLogits(tok, st))
+}
+
+// SequenceLogLoss returns the mean next-token negative log-likelihood of
+// window under the model (no gradients). Used by validation loops and the
+// over-sampling trainer to find poorly modeled normal windows.
+func (m *SequenceModel) SequenceLogLoss(window []Token) float64 {
+	if len(window) < 2 {
+		return 0
+	}
+	st := m.NewStreamState()
+	var total float64
+	for t := 0; t < len(window)-1; t++ {
+		lp := m.StepLogProbs(window[t], st)
+		target := window[t+1].ID
+		if target < 0 || target >= m.cfg.Vocab {
+			target = m.cfg.Vocab - 1
+		}
+		total -= lp[target]
+	}
+	return total / float64(len(window)-1)
+}
+
+// Clone returns a deep copy of the model: the teacher→student copy step of
+// the paper's transfer-learning adaptation (§4.3).
+func (m *SequenceModel) Clone() *SequenceModel {
+	out := &SequenceModel{cfg: m.cfg}
+	for _, l := range m.lstms {
+		out.lstms = append(out.lstms, l.clone())
+	}
+	out.out = m.out.clone()
+	return out
+}
+
+// FreezeBottomLayers freezes the lowest n LSTM layers so that fine-tuning
+// updates only the top of the network, per §4.3 ("train the student model
+// … to fine tune top layers"). n is clamped to the layer count.
+func (m *SequenceModel) FreezeBottomLayers(n int) {
+	for i, l := range m.lstms {
+		frozen := i < n
+		for _, p := range l.Params() {
+			p.Frozen = frozen
+		}
+	}
+}
+
+// Unfreeze clears all freeze flags.
+func (m *SequenceModel) Unfreeze() {
+	for _, p := range m.Params() {
+		p.Frozen = false
+	}
+}

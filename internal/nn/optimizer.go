@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+
+	"nfvpredict/internal/mat"
+)
+
+// Optimizer applies accumulated gradients to parameters. Implementations
+// must skip frozen parameters and zero every gradient (frozen or not)
+// after the step so the next accumulation starts clean.
+type Optimizer interface {
+	// Step applies one update from the accumulated gradients.
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum and
+// global-norm gradient clipping.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum is the classical momentum coefficient; 0 disables it.
+	Momentum float64
+	// Clip is the max global gradient norm; ≤0 disables clipping.
+	Clip float64
+
+	velocity map[*Param]*mat.Matrix
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum, clip float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, Clip: clip, velocity: make(map[*Param]*mat.Matrix)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	ClipGradNorm(params, s.Clip)
+	for _, p := range params {
+		if p.Frozen {
+			p.ZeroGrad()
+			continue
+		}
+		if s.Momentum > 0 {
+			v := s.velocity[p]
+			if v == nil {
+				v = mat.NewMatrix(p.W.Rows, p.W.Cols)
+				s.velocity[p] = v
+			}
+			for i := range v.Data {
+				v.Data[i] = s.Momentum*v.Data[i] - s.LR*p.Grad.Data[i]
+				p.W.Data[i] += v.Data[i]
+			}
+		} else {
+			p.W.AddScaled(-s.LR, p.Grad)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction and
+// global-norm gradient clipping.
+type Adam struct {
+	// LR is the learning rate (paper-typical default 1e-3).
+	LR float64
+	// Beta1 and Beta2 are the first/second moment decay rates.
+	Beta1, Beta2 float64
+	// Eps is the denominator fuzz term.
+	Eps float64
+	// Clip is the max global gradient norm; ≤0 disables clipping.
+	Clip float64
+
+	t int
+	m map[*Param]*mat.Matrix
+	v map[*Param]*mat.Matrix
+}
+
+// NewAdam returns an Adam optimizer with the conventional β₁=0.9,
+// β₂=0.999, ε=1e-8 defaults.
+func NewAdam(lr, clip float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		Clip:  clip,
+		m:     make(map[*Param]*mat.Matrix),
+		v:     make(map[*Param]*mat.Matrix),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	ClipGradNorm(params, a.Clip)
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.Frozen {
+			p.ZeroGrad()
+			continue
+		}
+		m := a.m[p]
+		if m == nil {
+			m = mat.NewMatrix(p.W.Rows, p.W.Cols)
+			a.m[p] = m
+		}
+		v := a.v[p]
+		if v == nil {
+			v = mat.NewMatrix(p.W.Rows, p.W.Cols)
+			a.v[p] = v
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mHat := m.Data[i] / c1
+			vHat := v.Data[i] / c2
+			p.W.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Reset clears the optimizer's moment estimates and step counter. Call it
+// when re-targeting the optimizer at a different model, e.g. a transfer-
+// learning student cloned from a teacher.
+func (a *Adam) Reset() {
+	a.t = 0
+	a.m = make(map[*Param]*mat.Matrix)
+	a.v = make(map[*Param]*mat.Matrix)
+}

@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelSnapshot is the gob wire form of a SequenceModel.
+type modelSnapshot struct {
+	Cfg     SeqModelConfig
+	Weights map[string][]float64
+}
+
+// Save serializes the model's configuration and weights to w using gob.
+func (m *SequenceModel) Save(w io.Writer) error {
+	snap := modelSnapshot{Cfg: m.cfg, Weights: make(map[string][]float64)}
+	for _, p := range m.Params() {
+		buf := make([]float64, len(p.W.Data))
+		copy(buf, p.W.Data)
+		snap.Weights[p.Name] = buf
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("nn: encoding model: %w", err)
+	}
+	return nil
+}
+
+// LoadSequenceModel reconstructs a SequenceModel saved with Save.
+func LoadSequenceModel(r io.Reader) (*SequenceModel, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	m := NewSequenceModel(snap.Cfg)
+	for _, p := range m.Params() {
+		data, ok := snap.Weights[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if len(data) != len(p.W.Data) {
+			return nil, fmt.Errorf("nn: parameter %q has %d weights, want %d", p.Name, len(data), len(p.W.Data))
+		}
+		copy(p.W.Data, data)
+	}
+	return m, nil
+}

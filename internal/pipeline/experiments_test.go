@@ -1,0 +1,152 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"nfvpredict/internal/nfvsim"
+)
+
+func TestTrainingDataSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	ds := testDataset(t, func(c *nfvsim.Config) {
+		c.NumVPEs = 8
+		c.Months = 5
+		c.UpdateMonth = -1
+		c.MeanFaultGapHours = 200
+	})
+	rows, err := TrainingDataSweep(ds, fastConfig(Customized, MethodLSTM), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	byLabel := map[string]ExperimentRow{}
+	for _, r := range rows {
+		t.Logf("%-20s trainEvents=%6d F=%.2f P=%.2f R=%.2f", r.Label, r.TrainEvents, r.Best.F, r.Best.Precision, r.Best.Recall)
+		byLabel[r.Label] = r
+	}
+	// The §5.2 claim in shape: clustered 1 month must beat per-vPE 1 month
+	// and come close to (or beat) per-vPE 3 months.
+	solo1 := byLabel["per-vPE 1mo"]
+	solo3 := byLabel["per-vPE 3mo"]
+	var clustered ExperimentRow
+	for label, r := range byLabel {
+		if len(label) > 9 && label[:9] == "clustered" {
+			clustered = r
+		}
+	}
+	if clustered.Label == "" {
+		t.Fatal("no clustered row")
+	}
+	if clustered.Best.F <= solo1.Best.F {
+		t.Errorf("clustered 1mo F=%.2f should beat per-vPE 1mo F=%.2f", clustered.Best.F, solo1.Best.F)
+	}
+	if clustered.Best.F < solo3.Best.F-0.12 {
+		t.Errorf("clustered 1mo F=%.2f should be near per-vPE 3mo F=%.2f", clustered.Best.F, solo3.Best.F)
+	}
+	if clustered.TrainEvents >= solo3.TrainEvents {
+		t.Errorf("clustered 1mo should use less data than per-vPE 3mo: %d vs %d", clustered.TrainEvents, solo3.TrainEvents)
+	}
+}
+
+func TestTrainingDataSweepValidation(t *testing.T) {
+	ds := testDataset(t, func(c *nfvsim.Config) { c.Months = 2; c.UpdateMonth = -1; c.NumVPEs = 2 })
+	if _, err := TrainingDataSweep(ds, fastConfig(Customized, MethodLSTM), 1); err == nil {
+		t.Fatal("expected error: not enough prior months")
+	}
+	if _, err := TrainingDataSweep(ds, fastConfig(Customized, MethodLSTM), 9); err == nil {
+		t.Fatal("expected error: eval month outside horizon")
+	}
+}
+
+func TestAdaptRecoverySweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	ds := testDataset(t, func(c *nfvsim.Config) {
+		c.NumVPEs = 8
+		c.Months = 7
+		c.UpdateMonth = 2
+		c.UpdateFraction = 1.0
+		c.MeanFaultGapHours = 200
+	})
+	rows, err := AdaptRecoverySweep(ds, fastConfig(CustomizedAdaptive, MethodLSTM), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]ExperimentRow{}
+	for _, r := range rows {
+		t.Logf("%-22s trainEvents=%6d F=%.2f P=%.2f R=%.2f", r.Label, r.TrainEvents, r.Best.F, r.Best.Precision, r.Best.Recall)
+		byLabel[r.Label] = r
+	}
+	adapt := byLabel["transfer adapt 1wk"]
+	teacher := byLabel["teacher (no recovery)"]
+	retrain1wk := byLabel["retrain 1wk"]
+	retrain2mo := byLabel["retrain 2mo"]
+	// Shape of the §5.2 claim: adaptation with one week of data must beat
+	// both the obsolete teacher and scratch retraining on the same week,
+	// and come close to scratch retraining on two months.
+	if adapt.Best.F <= teacher.Best.F {
+		t.Errorf("adapt F=%.2f should beat obsolete teacher F=%.2f", adapt.Best.F, teacher.Best.F)
+	}
+	if adapt.Best.F <= retrain1wk.Best.F-0.06 {
+		t.Errorf("adapt F=%.2f should be at least on par with 1wk scratch retrain F=%.2f", adapt.Best.F, retrain1wk.Best.F)
+	}
+	if adapt.Best.F < retrain2mo.Best.F-0.15 {
+		t.Errorf("adapt F=%.2f should be near 2mo retrain F=%.2f", adapt.Best.F, retrain2mo.Best.F)
+	}
+}
+
+func TestAdaptRecoverySweepValidation(t *testing.T) {
+	ds := testDataset(t, func(c *nfvsim.Config) { c.Months = 3; c.UpdateMonth = 1 })
+	if _, err := AdaptRecoverySweep(ds, fastConfig(CustomizedAdaptive, MethodLSTM), 1); err == nil {
+		t.Fatal("expected error: not enough following months")
+	}
+}
+
+func TestPredictiveWindowSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	ds := testDataset(t, func(c *nfvsim.Config) { c.Months = 3; c.UpdateMonth = -1; c.NumVPEs = 5 })
+	cfg := fastConfig(Customized, MethodLSTM)
+	res, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := []time.Duration{time.Hour, 24 * time.Hour, 48 * time.Hour}
+	curves := PredictiveWindowSweep(ds, res, cfg, windows)
+	if len(curves) != 3 {
+		t.Fatalf("curves: %d", len(curves))
+	}
+	var f1h, f1d, f2d float64
+	for w, curve := range curves {
+		best := 0.0
+		for _, p := range curve {
+			if p.F > best {
+				best = p.F
+			}
+		}
+		switch w {
+		case time.Hour:
+			f1h = best
+		case 24 * time.Hour:
+			f1d = best
+		case 48 * time.Hour:
+			f2d = best
+		}
+		t.Logf("window %v: best F=%.2f", w, best)
+	}
+	// Figure 5's shape: 1-day and 2-day windows converge; both at least
+	// match the 1-hour window.
+	if f1d < f1h-0.05 || f2d < f1h-0.05 {
+		t.Errorf("longer windows should not be worse: 1h=%.2f 1d=%.2f 2d=%.2f", f1h, f1d, f2d)
+	}
+	if diff := f2d - f1d; diff > 0.1 || diff < -0.1 {
+		t.Errorf("1d and 2d should converge: 1d=%.2f 2d=%.2f", f1d, f2d)
+	}
+}

@@ -1,0 +1,115 @@
+package pipeline
+
+import (
+	"sort"
+	"time"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/eval"
+)
+
+// SignatureStat aggregates the anomalies behind warning signatures by log
+// template — the §5.3 "operational findings" view, where conditions like
+// "invalid response from peer chassis-control" emerge as predictive
+// signatures and "BGP UNUSABLE ASPATH" storms as early-detection ones.
+type SignatureStat struct {
+	// TemplateID is the signature-tree template.
+	TemplateID int
+	// Template is its rendered form ("invalid response from peer
+	// chassis-control session * retries *").
+	Template string
+	// Anomalies is how many warning-cluster anomalies used the template.
+	Anomalies int
+	// Mapped is how many of those fell inside a ticket's predictive or
+	// infected period (the rest are the paper's "coincidental" fourth
+	// scenario, to be suppressed via ticket-processing rules).
+	Mapped int
+}
+
+// MappedFraction returns Mapped/Anomalies.
+func (s *SignatureStat) MappedFraction() float64 {
+	if s.Anomalies == 0 {
+		return 0
+	}
+	return float64(s.Mapped) / float64(s.Anomalies)
+}
+
+// SignatureSummary recovers, for the run's operating threshold, which log
+// templates the warning-cluster anomalies correspond to and how often each
+// template's anomalies mapped to tickets. Results are sorted by anomaly
+// count, descending.
+func SignatureSummary(ds *Dataset, res *Result, cfg Config) []SignatureStat {
+	anoms := detect.Threshold(res.Events, res.Best.Threshold)
+	warns := detect.ClusterWarnings(anoms, cfg.Eval.ClusterWindow, cfg.Eval.MinClusterSize)
+
+	// Warning intervals per vPE, with mapped/unmapped resolved by the
+	// same rules as the evaluation.
+	type span struct {
+		lo, hi time.Time
+		mapped bool
+	}
+	spansByVPE := make(map[string][]span)
+	evalFrom, evalTo := ds.MonthStart(1), ds.MonthStart(ds.Months)
+	for _, w := range warns {
+		o := eval.MapWarnings([]detect.Warning{w}, ds.Tickets, cfg.Eval, evalFrom, evalTo)
+		spansByVPE[w.VPE] = append(spansByVPE[w.VPE], span{
+			lo:     w.Time,
+			hi:     w.Time.Add(cfg.Eval.ClusterWindow * 8), // generous cluster extent
+			mapped: o.MappedWarnings > 0,
+		})
+	}
+
+	stats := make(map[int]*SignatureStat)
+	for _, a := range anoms {
+		spans := spansByVPE[a.VPE]
+		var hit *span
+		for i := range spans {
+			if !a.Time.Before(spans[i].lo) && !a.Time.After(spans[i].hi) {
+				hit = &spans[i]
+				break
+			}
+		}
+		if hit == nil {
+			continue // isolated anomaly, not part of a warning
+		}
+		// Recover the anomaly's template by looking up the event.
+		tid, ok := ds.templateAt(a.VPE, a.Time)
+		if !ok {
+			continue
+		}
+		st := stats[tid]
+		if st == nil {
+			st = &SignatureStat{TemplateID: tid}
+			if tpl := ds.Tree.TemplateByID(tid); tpl != nil {
+				st.Template = tpl.String()
+			}
+			stats[tid] = st
+		}
+		st.Anomalies++
+		if hit.mapped {
+			st.Mapped++
+		}
+	}
+	out := make([]SignatureStat, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Anomalies != out[j].Anomalies {
+			return out[i].Anomalies > out[j].Anomalies
+		}
+		return out[i].TemplateID < out[j].TemplateID
+	})
+	return out
+}
+
+// templateAt finds the template of vpe's event at exactly time t (scored
+// events carry the original message timestamps).
+func (ds *Dataset) templateAt(vpe string, t time.Time) (int, bool) {
+	s := ds.Streams[vpe]
+	lo := sort.Search(len(s), func(i int) bool { return !s[i].Time.Before(t) })
+	for i := lo; i < len(s) && s[i].Time.Equal(t); i++ {
+		return s[i].Template, true
+	}
+	return 0, false
+}

@@ -1,0 +1,336 @@
+// Package sigtree extracts message templates (signatures) from raw,
+// free-form syslog text, implementing the signature-tree approach of Qiu
+// et al., "What happened in my network: mining network events from router
+// syslogs" (IMC 2010), which the paper uses to turn unstructured vPE
+// syslogs into the structured (template, inter-arrival) tuples its LSTM
+// consumes (§4.2).
+//
+// The extractor works in two stages, mirroring the signature tree:
+//
+//  1. Tokenization with variable-field masking: tokens that look like
+//     values rather than message structure — numbers, IP addresses,
+//     hex strings, interface names, quoted strings — are replaced by a
+//     wildcard before tree insertion.
+//  2. Bucketing and similarity merge: messages are bucketed by token
+//     count (the coarse first-level split of the signature tree), then
+//     merged into the best-matching existing signature when the fraction
+//     of equal tokens meets a threshold; positions that disagree become
+//     wildcards.
+//
+// Templates receive stable small-integer IDs in discovery order, which
+// downstream models use directly as class indices.
+package sigtree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Wildcard is the placeholder token for variable fields in a template.
+const Wildcard = "*"
+
+// Template is one learned log signature.
+type Template struct {
+	// ID is the stable small-integer identifier, assigned in discovery
+	// order starting at 0.
+	ID int
+	// Tokens is the token sequence with Wildcard at variable positions.
+	Tokens []string
+	// Count is the number of messages matched to this template so far.
+	Count int
+}
+
+// String renders the template with wildcards, e.g. "interface * down".
+func (t *Template) String() string { return strings.Join(t.Tokens, " ") }
+
+// Tree learns and matches log templates. It is not safe for concurrent
+// use; callers that share a Tree across goroutines must synchronize.
+type Tree struct {
+	// SimThreshold is the minimum fraction of token positions that must
+	// match an existing signature for a message to merge into it.
+	simThreshold float64
+	// MaxTemplates caps the number of distinct templates; once reached,
+	// unmatched messages map to the overflow template.
+	maxTemplates int
+
+	templates []*Template
+	// buckets groups template indices by token count for candidate
+	// lookup; within a bucket the best similarity match wins. Token
+	// count is the coarse split the signature tree's first level makes.
+	buckets map[int][]int
+	// overflow is the catch-all template ID once maxTemplates is hit,
+	// or -1 if not yet allocated.
+	overflow int
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithSimThreshold sets the merge similarity threshold (default 0.6).
+func WithSimThreshold(th float64) Option {
+	return func(t *Tree) { t.simThreshold = th }
+}
+
+// WithMaxTemplates caps the number of distinct templates (default 1024).
+func WithMaxTemplates(n int) Option {
+	return func(t *Tree) { t.maxTemplates = n }
+}
+
+// New returns an empty signature tree.
+func New(opts ...Option) *Tree {
+	t := &Tree{
+		simThreshold: 0.6,
+		maxTemplates: 1024,
+		buckets:      make(map[int][]int),
+		overflow:     -1,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Len returns the number of learned templates.
+func (t *Tree) Len() int { return len(t.templates) }
+
+// Templates returns the learned templates in ID order. The returned slice
+// and its elements are owned by the tree; callers must not mutate them.
+func (t *Tree) Templates() []*Template { return t.templates }
+
+// TemplateByID returns the template with the given ID, or nil.
+func (t *Tree) TemplateByID(id int) *Template {
+	if id < 0 || id >= len(t.templates) {
+		return nil
+	}
+	return t.templates[id]
+}
+
+// Learn matches msg against the tree, creating or refining a template as
+// needed, increments its count, and returns it.
+func (t *Tree) Learn(msg string) *Template {
+	tokens := maskTokens(Tokenize(msg))
+	if len(tokens) == 0 {
+		tokens = []string{Wildcard}
+	}
+	if idx, merge := t.findBest(tokens); idx >= 0 {
+		tpl := t.templates[idx]
+		if merge {
+			mergeInto(tpl, tokens)
+		}
+		tpl.Count++
+		return tpl
+	}
+	if len(t.templates) >= t.maxTemplates {
+		return t.overflowTemplate()
+	}
+	tpl := &Template{ID: len(t.templates), Tokens: tokens, Count: 1}
+	t.templates = append(t.templates, tpl)
+	t.buckets[len(tokens)] = append(t.buckets[len(tokens)], tpl.ID)
+	return tpl
+}
+
+// Match finds the template for msg without learning. The boolean is false
+// when no existing template is similar enough.
+func (t *Tree) Match(msg string) (*Template, bool) {
+	tokens := maskTokens(Tokenize(msg))
+	if len(tokens) == 0 {
+		tokens = []string{Wildcard}
+	}
+	if idx, _ := t.findBest(tokens); idx >= 0 {
+		return t.templates[idx], true
+	}
+	return nil, false
+}
+
+// findBest returns the index of the best-matching template and whether the
+// match requires a merge (some positions disagree), or (-1, false).
+func (t *Tree) findBest(tokens []string) (int, bool) {
+	bestIdx, bestSim := -1, 0.0
+	for _, idx := range t.buckets[len(tokens)] {
+		sim := similarity(t.templates[idx].Tokens, tokens)
+		if sim > bestSim {
+			bestSim, bestIdx = sim, idx
+		}
+	}
+	if bestIdx >= 0 && bestSim >= t.simThreshold {
+		return bestIdx, bestSim < 1
+	}
+	return -1, false
+}
+
+// overflowTemplate lazily allocates the catch-all "other" template.
+func (t *Tree) overflowTemplate() *Template {
+	if t.overflow >= 0 {
+		tpl := t.templates[t.overflow]
+		tpl.Count++
+		return tpl
+	}
+	tpl := &Template{ID: len(t.templates), Tokens: []string{Wildcard}, Count: 1}
+	t.templates = append(t.templates, tpl)
+	t.overflow = tpl.ID
+	return tpl
+}
+
+// similarity is the fraction of positions where the two token slices agree
+// exactly (wildcard matches only wildcard). Counting template wildcards as
+// automatic agreement would let heavily merged templates match everything
+// and decay into all-wildcard attractors; because variable fields are
+// masked before comparison, instances of one family are token-identical
+// and still score 1.0 against their template.
+func similarity(a, b []string) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	if len(a) == 0 {
+		return 1
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+// mergeInto rewrites tpl so disagreeing positions become wildcards.
+func mergeInto(tpl *Template, tokens []string) {
+	for i := range tpl.Tokens {
+		if tpl.Tokens[i] != tokens[i] {
+			tpl.Tokens[i] = Wildcard
+		}
+	}
+}
+
+// Tokenize splits a raw log message into tokens on whitespace, additionally
+// separating common punctuation that glues fields to structure (colons,
+// commas, equals, brackets).
+func Tokenize(msg string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range msg {
+		switch r {
+		case ' ', '\t', '\n', '\r':
+			flush()
+		case ',', '=', '[', ']', '(', ')', '"', ';':
+			flush()
+		case ':':
+			// Keep colons inside tokens (IPv6, interface specs like
+			// ge-0/0/1:0) but treat a trailing "word:" as separator.
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// maskTokens replaces variable-looking tokens with the wildcard.
+func maskTokens(tokens []string) []string {
+	out := make([]string, len(tokens))
+	for i, tok := range tokens {
+		if IsVariableToken(tok) {
+			out[i] = Wildcard
+		} else {
+			out[i] = strings.ToLower(tok)
+		}
+	}
+	return out
+}
+
+// IsVariableToken reports whether tok looks like a value rather than log
+// structure: pure numbers, hex strings, IPv4/IPv6 addresses, interface
+// names with unit numbers, durations, percentages.
+func IsVariableToken(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	digits, hexish, letters, dots, slashes, colons, dashes := 0, 0, 0, 0, 0, 0, 0
+	for _, r := range tok {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+			hexish++
+		case (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F'):
+			letters++
+			hexish++
+		case (r >= 'g' && r <= 'z') || (r >= 'G' && r <= 'Z'):
+			letters++
+		case r == '.':
+			dots++
+		case r == '/':
+			slashes++
+		case r == ':':
+			colons++
+		case r == '-':
+			dashes++
+		case r == '%' || r == '+':
+			// counts as neither
+		default:
+			letters++
+		}
+	}
+	if digits == 0 {
+		// Pure-hex words like "dead" or "face" stay structural; only
+		// digit-bearing tokens can be variables, except long hex with
+		// colons (MAC addresses).
+		return colons >= 2 && hexish >= 6 && letters == hexish-digits
+	}
+	// Any token containing digits plus field punctuation is a value:
+	// 10.0.0.1, ge-0/0/1, 2001:db8::1, 12:30:01.
+	if dots > 0 || slashes > 0 || colons > 0 {
+		return true
+	}
+	// Digit-dominated tokens (counters, PIDs, temperatures like 45C).
+	return digits >= letters || (dashes > 0 && digits > 0)
+}
+
+// treeSnapshot is the gob wire form of a Tree.
+type treeSnapshot struct {
+	SimThreshold float64
+	MaxTemplates int
+	Templates    []Template
+	Overflow     int
+}
+
+// Save serializes the tree to w using gob.
+func (t *Tree) Save(w io.Writer) error {
+	snap := treeSnapshot{
+		SimThreshold: t.simThreshold,
+		MaxTemplates: t.maxTemplates,
+		Overflow:     t.overflow,
+	}
+	for _, tpl := range t.templates {
+		snap.Templates = append(snap.Templates, *tpl)
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("sigtree: encoding tree: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a tree saved with Save.
+func Load(r io.Reader) (*Tree, error) {
+	var snap treeSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("sigtree: decoding tree: %w", err)
+	}
+	t := New(WithSimThreshold(snap.SimThreshold), WithMaxTemplates(snap.MaxTemplates))
+	t.overflow = snap.Overflow
+	for i := range snap.Templates {
+		tpl := snap.Templates[i]
+		cp := tpl
+		t.templates = append(t.templates, &cp)
+		t.buckets[len(cp.Tokens)] = append(t.buckets[len(cp.Tokens)], cp.ID)
+	}
+	return t, nil
+}

@@ -1,0 +1,93 @@
+package ticket
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the on-disk column layout used by WriteCSV/ReadCSV.
+var csvHeader = []string{"id", "vpe", "cause", "report", "repair", "duplicate_of"}
+
+// WriteCSV writes tickets as CSV with a header row, timestamps in RFC 3339.
+func WriteCSV(w io.Writer, tickets []Ticket) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("ticket: writing CSV header: %w", err)
+	}
+	for _, tk := range tickets {
+		rec := []string{
+			strconv.Itoa(tk.ID),
+			tk.VPE,
+			tk.Cause.String(),
+			tk.Report.Format(time.RFC3339Nano),
+			tk.Repair.Format(time.RFC3339Nano),
+			strconv.Itoa(tk.DuplicateOf),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("ticket: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("ticket: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses tickets written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Ticket, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("ticket: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	start := 0
+	if len(rows[0]) > 0 && rows[0][0] == "id" {
+		start = 1 // skip header
+	}
+	var out []Ticket
+	for i := start; i < len(rows); i++ {
+		row := rows[i]
+		if len(row) != len(csvHeader) {
+			return nil, fmt.Errorf("ticket: CSV row %d has %d fields, want %d", i, len(row), len(csvHeader))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("ticket: CSV row %d id: %w", i, err)
+		}
+		cause, err := parseCause(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("ticket: CSV row %d: %w", i, err)
+		}
+		report, err := time.Parse(time.RFC3339Nano, row[3])
+		if err != nil {
+			return nil, fmt.Errorf("ticket: CSV row %d report: %w", i, err)
+		}
+		repair, err := time.Parse(time.RFC3339Nano, row[4])
+		if err != nil {
+			return nil, fmt.Errorf("ticket: CSV row %d repair: %w", i, err)
+		}
+		dup, err := strconv.Atoi(row[5])
+		if err != nil {
+			return nil, fmt.Errorf("ticket: CSV row %d duplicate_of: %w", i, err)
+		}
+		out = append(out, Ticket{ID: id, VPE: row[1], Cause: cause, Report: report, Repair: repair, DuplicateOf: dup})
+	}
+	return out, nil
+}
+
+// parseCause inverts RootCause.String.
+func parseCause(s string) (RootCause, error) {
+	for _, c := range Causes {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown root cause %q", s)
+}

@@ -1,0 +1,75 @@
+package ticket
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := []Ticket{
+		mk(0, "vpe00", Circuit, time.Hour, 2*time.Hour),
+		mk(1, "vpe01", Maintenance, 48*time.Hour, time.Hour),
+		{ID: 2, VPE: "vpe00", Cause: Duplicate, Report: t0.Add(3 * time.Hour), Repair: t0.Add(4 * time.Hour), DuplicateOf: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d tickets", len(out))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].VPE != in[i].VPE || out[i].Cause != in[i].Cause ||
+			!out[i].Report.Equal(in[i].Report) || !out[i].Repair.Equal(in[i].Repair) ||
+			out[i].DuplicateOf != in[i].DuplicateOf {
+			t.Fatalf("ticket %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	out, err := ReadCSV(strings.NewReader(""))
+	if err != nil || out != nil {
+		t.Fatalf("empty: %v %v", out, err)
+	}
+}
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	out, err := ReadCSV(strings.NewReader("id,vpe,cause,report,repair,duplicate_of\n"))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("header only: %v %v", out, err)
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	bad := []string{
+		"id,vpe,cause,report,repair,duplicate_of\nx,v,Circuit,2017-01-01T00:00:00Z,2017-01-01T01:00:00Z,-1\n",  // bad id
+		"id,vpe,cause,report,repair,duplicate_of\n1,v,Nonsense,2017-01-01T00:00:00Z,2017-01-01T01:00:00Z,-1\n", // bad cause
+		"id,vpe,cause,report,repair,duplicate_of\n1,v,Circuit,notatime,2017-01-01T01:00:00Z,-1\n",              // bad report
+		"id,vpe,cause,report,repair,duplicate_of\n1,v,Circuit,2017-01-01T00:00:00Z,notatime,-1\n",              // bad repair
+		"id,vpe,cause,report,repair,duplicate_of\n1,v,Circuit,2017-01-01T00:00:00Z,2017-01-01T01:00:00Z,zzz\n", // bad dup
+	}
+	for i, s := range bad {
+		if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestParseCauseAll(t *testing.T) {
+	for _, c := range Causes {
+		got, err := parseCause(c.String())
+		if err != nil || got != c {
+			t.Fatalf("parseCause(%q)=%v,%v", c.String(), got, err)
+		}
+	}
+	if _, err := parseCause("bogus"); err == nil {
+		t.Fatal("bogus cause should fail")
+	}
+}

@@ -1,0 +1,107 @@
+package nfvpredict
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nfvpredict/internal/eval"
+)
+
+// System bundles a dataset, its configuration, and the completed analysis
+// — the one-call entry point for applications that just want the paper's
+// system run end to end.
+type System struct {
+	// Dataset is the analyzed dataset.
+	Dataset *Dataset
+	// Config is the configuration the run used.
+	Config Config
+	// Result is the walk-forward outcome.
+	Result *Result
+}
+
+// AnalyzeTrace builds a dataset from the trace and runs the full
+// walk-forward analysis.
+func AnalyzeTrace(tr *Trace, start time.Time, months int, cfg Config) (*System, error) {
+	ds := NewDataset(tr, start, months)
+	res, err := Run(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Dataset: ds, Config: cfg, Result: res}, nil
+}
+
+// FigureEight computes the per-root-cause lead-time detection rates
+// (Figure 8) for the run's operating point.
+func (s *System) FigureEight() []TypeDetection {
+	return DetectionByType(s.Result.Outcome, s.Dataset.Tickets,
+		s.Dataset.MonthStart(1), s.Dataset.MonthStart(s.Dataset.Months))
+}
+
+// Report renders a human-readable summary: the operating point (§5.2),
+// the monthly F-measure series (Figure 7), and the Figure 8 table.
+func (s *System) Report() string {
+	var b strings.Builder
+	res := s.Result
+	fmt.Fprintf(&b, "variant: %v   method: %s   clusters: K=%d\n",
+		s.Config.Variant, methodName(s.Config.Method), res.Clusters.K)
+	fmt.Fprintf(&b, "operating point: precision=%.2f recall=%.2f F=%.2f false-alarms/day=%.2f\n",
+		res.Best.Precision, res.Best.Recall, res.Best.F, res.Best.FalseAlarmsPerDay)
+	fmt.Fprintf(&b, "\nmonthly F-measure (walk-forward):\n")
+	for _, mm := range res.Monthly {
+		marker := ""
+		if mm.Adapted {
+			marker = "  [adapted]"
+		}
+		fmt.Fprintf(&b, "  %s  F=%.2f P=%.2f R=%.2f warnings=%-4d false-alarms=%-4d%s\n",
+			mm.Month.Format("2006-01"), mm.Best.F, mm.Best.Precision, mm.Best.Recall,
+			mm.Warnings, mm.FalseAlarms, marker)
+	}
+	fmt.Fprintf(&b, "\ndetection rate by ticket type (Figure 8):\n")
+	fmt.Fprintf(&b, "  %-10s %8s", "type", "tickets")
+	for _, name := range eval.LeadBucketNames {
+		fmt.Fprintf(&b, " %7s", name)
+	}
+	b.WriteByte('\n')
+	for _, td := range s.FigureEight() {
+		label := td.Cause.String()
+		if td.All {
+			label = "ALL"
+		}
+		fmt.Fprintf(&b, "  %-10s %8d", label, td.Tickets)
+		for _, r := range td.Rates {
+			fmt.Fprintf(&b, " %7.2f", r)
+		}
+		b.WriteByte('\n')
+	}
+
+	// §5.3 operational findings: which log templates the warnings were
+	// made of, and whether any warning served multiple tickets (Q4).
+	sigs := s.Signatures()
+	if len(sigs) > 0 {
+		fmt.Fprintf(&b, "\ntop warning signatures (operational findings, §5.3):\n")
+		for i, sig := range sigs {
+			if i >= 8 {
+				break
+			}
+			fmt.Fprintf(&b, "  %3dx (%.0f%% ticket-linked)  %s\n",
+				sig.Anomalies, 100*sig.MappedFraction(), sig.Template)
+		}
+	}
+	fmt.Fprintf(&b, "\nwarnings mapped to multiple tickets (paper Q4: \"never happened\"): %d\n",
+		s.Result.Outcome.MultiMapped)
+	return b.String()
+}
+
+// Signatures aggregates the run's warning anomalies by log template — the
+// §5.3 operational-findings view.
+func (s *System) Signatures() []SignatureStat {
+	return pipelineSignatureSummary(s.Dataset, s.Result, s.Config)
+}
+
+func methodName(m Method) string {
+	if m == "" {
+		return string(MethodLSTM)
+	}
+	return string(m)
+}
