@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test test-race bench bench-nn bench-pipeline figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent paths: data-parallel gradient
+# workers, per-cluster training fan-out, and concurrent scoring.
+test-race:
+	$(GO) test -race ./internal/...
+
+bench: bench-nn bench-pipeline
+
+bench-nn:
+	$(GO) test ./internal/nn/ -run XXX -bench . -benchmem
+
+bench-pipeline:
+	$(GO) test ./internal/pipeline/ -run XXX -bench . -benchmem -benchtime 3x
+
+figures:
+	$(GO) run ./cmd/figures -fig all

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/nn"
@@ -38,6 +39,14 @@ type LSTMConfig struct {
 	// MaxWindowsPerEpoch subsamples training windows for bounded cost;
 	// 0 means no cap.
 	MaxWindowsPerEpoch int
+	// BatchWindows is how many windows share one optimizer step. 1 (the
+	// default) reproduces strict per-window SGD; larger values enable
+	// data-parallel gradient computation across Parallelism workers.
+	BatchWindows int
+	// Parallelism is the number of goroutines used for in-batch gradient
+	// computation and training-loss evaluation. Results are bit-identical
+	// for any value; ≤1 means sequential.
+	Parallelism int
 	// Seed drives initialization and shuffling.
 	Seed int64
 }
@@ -59,6 +68,7 @@ func DefaultLSTMConfig() LSTMConfig {
 		LR:                 3e-3,
 		Clip:               5,
 		MaxWindowsPerEpoch: 4000,
+		BatchWindows:       1,
 		Seed:               1,
 	}
 }
@@ -67,11 +77,12 @@ func DefaultLSTMConfig() LSTMConfig {
 // template sequences; the anomaly score of a message is the negative log-
 // likelihood the model assigned it given its context (§4.2).
 type LSTMDetector struct {
-	cfg   LSTMConfig
-	vocab *Vocabulary
-	model *nn.SequenceModel
-	opt   *nn.Adam
-	rng   *rand.Rand
+	cfg     LSTMConfig
+	vocab   *Vocabulary
+	model   *nn.SequenceModel
+	opt     *nn.Adam
+	trainer *nn.BatchTrainer
+	rng     *rand.Rand
 }
 
 // NewLSTMDetector returns an untrained detector.
@@ -90,6 +101,25 @@ func NewLSTMDetector(cfg LSTMConfig) *LSTMDetector {
 
 // Name implements Detector.
 func (d *LSTMDetector) Name() string { return "lstm" }
+
+// parallelism returns the effective worker count (at least 1).
+func (d *LSTMDetector) parallelism() int {
+	if d.cfg.Parallelism < 1 {
+		return 1
+	}
+	return d.cfg.Parallelism
+}
+
+// rebuildTrainer must run whenever d.model or d.opt is replaced: the
+// trainer caches the parameter list and the shadow models that share the
+// model's weights.
+func (d *LSTMDetector) rebuildTrainer() {
+	batch := d.cfg.BatchWindows
+	if batch < 1 {
+		batch = 1
+	}
+	d.trainer = nn.NewBatchTrainer(d.model, d.opt, batch, d.parallelism())
+}
 
 // Model exposes the underlying sequence model (nil before Train), used by
 // serialization paths and tests.
@@ -140,6 +170,7 @@ func (d *LSTMDetector) Train(streams [][]features.Event) error {
 		Seed:   d.cfg.Seed,
 	})
 	d.opt = nn.NewAdam(d.cfg.LR, d.cfg.Clip)
+	d.rebuildTrainer()
 	wins := d.windows(streams)
 	for e := 0; e < d.cfg.Epochs; e++ {
 		d.trainEpoch(wins)
@@ -185,6 +216,7 @@ func (d *LSTMDetector) Adapt(streams [][]features.Event) error {
 	student.FreezeBottomLayers(freeze)
 	d.model = student
 	d.opt = nn.NewAdam(d.cfg.LR, d.cfg.Clip) // fresh moments for the student
+	d.rebuildTrainer()
 	wins := d.windows(streams)
 	epochs := d.cfg.AdaptEpochs
 	if epochs < 1 {
@@ -208,18 +240,19 @@ func (d *LSTMDetector) Adapt(streams [][]features.Event) error {
 }
 
 // trainEpoch shuffles and trains one pass over the windows, respecting the
-// per-epoch cap.
+// per-epoch cap. The shuffled order is fixed by the detector RNG before the
+// trainer sees it, so the result does not depend on cfg.Parallelism.
 func (d *LSTMDetector) trainEpoch(wins [][]nn.Token) {
 	idx := d.rng.Perm(len(wins))
 	cap := len(idx)
 	if d.cfg.MaxWindowsPerEpoch > 0 && cap > d.cfg.MaxWindowsPerEpoch {
 		cap = d.cfg.MaxWindowsPerEpoch
 	}
-	for _, i := range idx[:cap] {
-		if d.model.TrainWindow(wins[i]) > 0 {
-			d.opt.Step(d.model.Params())
-		}
+	epoch := make([][]nn.Token, cap)
+	for k, i := range idx[:cap] {
+		epoch[k] = wins[i]
 	}
+	d.trainer.Train(epoch)
 }
 
 // overSampleLoop implements the §4.2 minority-pattern procedure: after
@@ -237,12 +270,9 @@ func (d *LSTMDetector) overSampleLoop(wins [][]nn.Token) {
 			loss float64
 		}
 		losses := make([]wl, len(wins))
-		var total float64
-		for i, w := range wins {
-			l := d.model.SequenceLogLoss(w)
-			losses[i] = wl{i, l}
-			total += l
-		}
+		d.forEachWindow(len(wins), func(i int) {
+			losses[i] = wl{i, d.model.SequenceLogLoss(wins[i])}
+		})
 		sort.Slice(losses, func(a, b int) bool { return losses[a].loss > losses[b].loss })
 		nBad := len(losses) / 5
 		if nBad == 0 {
@@ -270,12 +300,35 @@ func (d *LSTMDetector) overSampleLoop(wins [][]nn.Token) {
 			batch = append(batch, wins[rest[d.rng.Intn(len(rest))].i])
 		}
 		d.rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
-		for _, w := range batch {
-			if d.model.TrainWindow(w) > 0 {
-				d.opt.Step(d.model.Params())
-			}
-		}
+		d.trainer.Train(batch)
 	}
+}
+
+// forEachWindow runs fn(i) for i in [0, n) on the detector's configured
+// worker count. fn must write results by index; with that discipline the
+// outcome is independent of the parallelism level.
+func (d *LSTMDetector) forEachWindow(n int, fn func(i int)) {
+	workers := d.parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // Score implements Detector: each message's score is its negative log-

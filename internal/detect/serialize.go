@@ -64,6 +64,7 @@ func LoadLSTMDetector(r io.Reader) (*LSTMDetector, error) {
 		d.vocab.index[k] = v
 	}
 	d.opt = nn.NewAdam(snap.Cfg.LR, snap.Cfg.Clip)
+	d.rebuildTrainer()
 	d.rng = rand.New(rand.NewSource(snap.Cfg.Seed))
 	return d, nil
 }

@@ -353,6 +353,50 @@ func (m *Matrix) TransMulVecAdd(dst, v Vector) {
 	}
 }
 
+// ColGatherAdd sets dst = dst + a * m[:,j], i.e. dst[i] += a * m[i][j].
+// It is the sparse form of MulVec for a one-hot input: when x is zero
+// except x[j] = a, m·x is exactly a gather of column j scaled by a, so the
+// O(Rows·Cols) product collapses to O(Rows).
+func (m *Matrix) ColGatherAdd(dst Vector, j int, a float64) {
+	mustSameLen(m.Rows, len(dst), "Matrix.ColGatherAdd output")
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: ColGatherAdd column %d out of range [0,%d)", j, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] += a * m.Data[i*m.Cols+j]
+	}
+}
+
+// Col2GatherAdd sets dst[i] += a1*m[i][j1] + a2*m[i][j2], the two-column
+// gather for a one-hot-plus-scalar input (template one-hot + time gap).
+// The two terms are summed before being added to dst, reproducing the
+// floating-point association of a dense MulVecAdd over the same sparse
+// vector bit for bit.
+func (m *Matrix) Col2GatherAdd(dst Vector, j1 int, a1 float64, j2 int, a2 float64) {
+	mustSameLen(m.Rows, len(dst), "Matrix.Col2GatherAdd output")
+	if j1 < 0 || j1 >= m.Cols || j2 < 0 || j2 >= m.Cols {
+		panic(fmt.Sprintf("mat: Col2GatherAdd columns %d,%d out of range [0,%d)", j1, j2, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols:]
+		dst[i] += a1*row[j1] + a2*row[j2]
+	}
+}
+
+// AddOuterOneHot sets m[i][j] += a * u[i] for every i: the outer-product
+// gradient update m += (a·u) ⊗ onehot(j) touching only column j. This is
+// the sparse form of AddOuter when v is one-hot, turning the O(Rows·Cols)
+// update into O(Rows).
+func (m *Matrix) AddOuterOneHot(a float64, u Vector, j int) {
+	mustSameLen(m.Rows, len(u), "Matrix.AddOuterOneHot rows")
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: AddOuterOneHot column %d out of range [0,%d)", j, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+j] += a * u[i]
+	}
+}
+
 // AddOuter sets m = m + a * (u ⊗ v), i.e. m[i][j] += a * u[i] * v[j].
 // This is the weight-gradient accumulation kernel used by backprop.
 func (m *Matrix) AddOuter(a float64, u, v Vector) {

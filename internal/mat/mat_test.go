@@ -280,6 +280,72 @@ func TestMulVecAdd(t *testing.T) {
 	}
 }
 
+// The sparse one-hot kernels must agree with MulVecAdd on a materialized
+// one-hot vector — bit for bit, since the training path relies on exact
+// equivalence between the sparse and dense forms.
+func TestColGatherAddMatchesOneHotMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(8), 2+rng.Intn(8)
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		bias := NewVector(rows)
+		for i := range bias {
+			bias[i] = rng.NormFloat64()
+		}
+		j1, j2 := rng.Intn(cols), rng.Intn(cols)
+		for j2 == j1 {
+			j2 = rng.Intn(cols)
+		}
+		a2 := rng.NormFloat64()
+
+		x := NewVector(cols)
+		x[j1] = 1
+		want := bias.Clone()
+		m.MulVecAdd(want, x)
+		got := bias.Clone()
+		m.ColGatherAdd(got, j1, 1)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ColGatherAdd: got %v want %v", got, want)
+			}
+		}
+
+		x[j2] = a2
+		want = bias.Clone()
+		m.MulVecAdd(want, x)
+		got = bias.Clone()
+		m.Col2GatherAdd(got, j1, 1, j2, a2)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Col2GatherAdd: got %v want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestAddOuterOneHotMatchesAddOuter(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows, cols := 5, 7
+	a, b := NewMatrix(rows, cols), NewMatrix(rows, cols)
+	u := NewVector(rows)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	j := 3
+	onehot := NewVector(cols)
+	onehot[j] = 1
+	a.AddOuter(2.5, u, onehot)
+	b.AddOuterOneHot(2.5, u, j)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("AddOuterOneHot: %v vs %v", a.Data, b.Data)
+		}
+	}
+}
+
 func TestTransMulVec(t *testing.T) {
 	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
 	out := m.TransMulVec(Vector{1, 1, 1})

@@ -16,11 +16,16 @@ type Dense struct {
 	Wp, Bp *Param
 }
 
-// DenseCache holds the per-call state Backward needs. Keeping it external
-// to the layer makes Dense safe to reuse across timesteps of a sequence.
+// DenseCache holds the per-call state Backward needs plus reusable
+// scratch. Keeping it external to the layer makes Dense safe to reuse
+// across timesteps of a sequence; reusing one cache across calls makes the
+// forward/backward pair allocation-free. A cache is owned by one goroutine
+// at a time.
 type DenseCache struct {
 	x mat.Vector // input
 	y mat.Vector // activated output
+	// Backward scratch, lazily sized.
+	dz, dx mat.Vector
 }
 
 // NewDense creates a Dense layer with Xavier-initialized weights.
@@ -46,29 +51,52 @@ func (d *Dense) Params() []*Param { return []*Param{d.Wp, d.Bp} }
 
 // Forward computes the layer output for x and a cache for Backward.
 func (d *Dense) Forward(x mat.Vector) (mat.Vector, *DenseCache) {
-	y := make(mat.Vector, d.Out)
-	copy(y, d.Bp.W.Row(0))
-	d.Wp.W.MulVecAdd(y, x)
+	c := &DenseCache{}
+	return d.ForwardInto(c, x), c
+}
+
+// ForwardInto is Forward writing into c's reusable buffers: the returned
+// output aliases the cache and stays valid until its next ForwardInto.
+func (d *Dense) ForwardInto(c *DenseCache, x mat.Vector) mat.Vector {
+	c.x = x
+	c.y = ensureVec(c.y, d.Out)
+	copy(c.y, d.Bp.W.Row(0))
+	d.Wp.W.MulVecAdd(c.y, x)
 	if d.Act != Identity {
-		for i := range y {
-			y[i] = d.Act.Apply(y[i])
+		for i := range c.y {
+			c.y[i] = d.Act.Apply(c.y[i])
 		}
 	}
-	return y, &DenseCache{x: x, y: y}
+	return c.y
 }
 
 // Infer computes the layer output without building a cache; use it on
 // pure-inference paths (anomaly scoring) where no backward pass follows.
 func (d *Dense) Infer(x mat.Vector) mat.Vector {
-	y, _ := d.Forward(x)
-	return y
+	return d.InferInto(mat.NewVector(d.Out), x)
+}
+
+// InferInto is Infer writing into dst (length d.Out), avoiding the
+// per-call allocation on streaming-scoring paths.
+func (d *Dense) InferInto(dst, x mat.Vector) mat.Vector {
+	copy(dst, d.Bp.W.Row(0))
+	d.Wp.W.MulVecAdd(dst, x)
+	if d.Act != Identity {
+		for i := range dst {
+			dst[i] = d.Act.Apply(dst[i])
+		}
+	}
+	return dst
 }
 
 // Backward consumes dy = ∂loss/∂y, accumulates ∂loss/∂W and ∂loss/∂b into
-// the layer's parameter gradients, and returns dx = ∂loss/∂x.
+// the layer's parameter gradients, and returns dx = ∂loss/∂x. The returned
+// vector aliases the cache's scratch and stays valid until its next
+// Backward.
 func (d *Dense) Backward(c *DenseCache, dy mat.Vector) mat.Vector {
 	// dz = dy ⊙ f'(y)
-	dz := make(mat.Vector, d.Out)
+	c.dz = ensureVec(c.dz, d.Out)
+	dz := c.dz
 	if d.Act == Identity {
 		copy(dz, dy)
 	} else {
@@ -78,9 +106,10 @@ func (d *Dense) Backward(c *DenseCache, dy mat.Vector) mat.Vector {
 	}
 	d.Wp.Grad.AddOuter(1, dz, c.x)
 	d.Bp.Grad.Row(0).AddInPlace(dz)
-	dx := make(mat.Vector, d.In)
-	d.Wp.W.TransMulVecAdd(dx, dz)
-	return dx
+	c.dx = ensureVec(c.dx, d.In)
+	c.dx.Zero()
+	d.Wp.W.TransMulVecAdd(c.dx, dz)
+	return c.dx
 }
 
 // clone returns a deep copy of the layer (weights copied, gradients zeroed).
@@ -97,4 +126,16 @@ func (d *Dense) clone() *Dense {
 	out.Wp.Frozen = d.Wp.Frozen
 	out.Bp.Frozen = d.Bp.Frozen
 	return out
+}
+
+// shadow returns a layer sharing d's weight matrices but owning fresh
+// gradient accumulators, for data-parallel gradient workers.
+func (d *Dense) shadow() *Dense {
+	return &Dense{
+		In:  d.In,
+		Out: d.Out,
+		Act: d.Act,
+		Wp:  d.Wp.shadow(),
+		Bp:  d.Bp.shadow(),
+	}
 }

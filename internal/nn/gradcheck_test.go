@@ -129,6 +129,96 @@ func TestTrainWindowLossMatchesSequenceLogLoss(t *testing.T) {
 	}
 }
 
+// denseTrainWindow is a reference BPTT pass that materializes the full
+// one-hot input vector for every timestep and feeds it through the dense
+// Step kernel, mirroring the seed implementation. The production
+// TrainWindow must reproduce its gradients exactly.
+func denseTrainWindow(m *SequenceModel, window []Token) float64 {
+	T := len(window) - 1
+	states := make([]*LSTMState, len(m.lstms))
+	caches := make([]*LSTMCache, len(m.lstms))
+	for i, l := range m.lstms {
+		states[i] = l.NewState()
+		caches[i] = &LSTMCache{}
+	}
+	for t := 0; t < T; t++ {
+		h := m.encode(window[t])
+		for li, l := range m.lstms {
+			h = l.Step(h, states[li], caches[li])
+		}
+	}
+	top := caches[len(m.lstms)-1]
+	dhs := make([]mat.Vector, T)
+	var total float64
+	for t := 0; t < T; t++ {
+		logits, c := m.out.Forward(top.steps[t].h)
+		loss, dlogits := SoftmaxCrossEntropy(logits, m.targetOf(window[t+1]))
+		total += loss
+		dlogits.ScaleInPlace(1 / float64(T))
+		dhs[t] = m.out.Backward(c, dlogits).Clone()
+	}
+	grads := dhs
+	for li := len(m.lstms) - 1; li >= 0; li-- {
+		grads = m.lstms[li].BackwardSeq(caches[li], grads)
+	}
+	return total / float64(T)
+}
+
+// TestSparseMatchesDensePath pins the core perf-path contract: the sparse
+// one-hot kernels (ColGatherAdd / Col2GatherAdd / AddOuterOneHot) produce
+// bit-identical losses and gradients to the dense one-hot reference, both
+// with and without the UseGap input column.
+func TestSparseMatchesDensePath(t *testing.T) {
+	for _, useGap := range []bool{false, true} {
+		cfg := SeqModelConfig{Vocab: 9, Hidden: []int{7, 5}, UseGap: useGap, Seed: 21}
+		sparse := NewSequenceModel(cfg)
+		dense := NewSequenceModel(cfg) // identical weights via identical seed
+		window := []Token{
+			{ID: 2, Gap: 0}, {ID: 8, Gap: 5}, {ID: 0, Gap: 300},
+			{ID: 4, Gap: 1}, {ID: -3, Gap: 2}, {ID: 42, Gap: 7}, {ID: 1, Gap: 0.5},
+		}
+		lossSparse := sparse.TrainWindow(window)
+		lossDense := denseTrainWindow(dense, window)
+		if lossSparse != lossDense {
+			t.Fatalf("useGap=%v: loss diverged: sparse=%v dense=%v", useGap, lossSparse, lossDense)
+		}
+		sp, dp := sparse.Params(), dense.Params()
+		for i := range sp {
+			for j := range sp[i].Grad.Data {
+				if sp[i].Grad.Data[j] != dp[i].Grad.Data[j] {
+					t.Fatalf("useGap=%v param %s grad[%d]: sparse=%v dense=%v",
+						useGap, sp[i].Name, j, sp[i].Grad.Data[j], dp[i].Grad.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingMatchesDenseInference pins the same contract for the
+// inference path: StepLogits through the sparse kernels must equal feeding
+// the materialized one-hot through the dense Step.
+func TestStreamingMatchesDenseInference(t *testing.T) {
+	cfg := SeqModelConfig{Vocab: 6, Hidden: []int{5, 4}, UseGap: true, Seed: 9}
+	m := NewSequenceModel(cfg)
+	ref := NewSequenceModel(cfg)
+	st := m.NewStreamState()
+	refSt := ref.NewStreamState()
+	window := []Token{{ID: 1, Gap: 2}, {ID: 3, Gap: 10}, {ID: 0, Gap: 1}, {ID: 5, Gap: 60}}
+	for _, tok := range window {
+		got := m.StepLogits(tok, st)
+		h := ref.encode(tok)
+		for li, l := range ref.lstms {
+			h = l.Step(h, refSt.layers[li], nil)
+		}
+		want := ref.out.Infer(h)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tok %+v logit %d: sparse=%v dense=%v", tok, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestMLPGradientCheck(t *testing.T) {
 	ae := NewAutoencoder(6, []int{4, 2}, 11)
 	rng := rand.New(rand.NewSource(5))

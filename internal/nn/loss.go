@@ -11,49 +11,67 @@ import (
 // and gradient are computed jointly (softmax folded into the loss) for the
 // standard numerically stable gradient p − onehot(target).
 func SoftmaxCrossEntropy(logits mat.Vector, target int) (loss float64, dlogits mat.Vector) {
+	dlogits = make(mat.Vector, len(logits))
+	loss = SoftmaxCrossEntropyInto(dlogits, logits, target)
+	return loss, dlogits
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the gradient into
+// dst (length len(logits)), avoiding the per-timestep allocation on the
+// training hot path.
+func SoftmaxCrossEntropyInto(dst, logits mat.Vector, target int) (loss float64) {
 	if target < 0 || target >= len(logits) {
 		panic("nn: SoftmaxCrossEntropy target out of range")
 	}
 	lse := mat.LogSumExp(logits)
 	loss = lse - logits[target]
-	dlogits = make(mat.Vector, len(logits))
 	m := logits.Max()
 	var sum float64
 	for i, x := range logits {
 		e := math.Exp(x - m)
-		dlogits[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range dlogits {
-		dlogits[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	dlogits[target] -= 1
-	return loss, dlogits
+	dst[target] -= 1
+	return loss
 }
 
 // LogSoftmax returns log(softmax(logits)) computed stably.
 func LogSoftmax(logits mat.Vector) mat.Vector {
+	return LogSoftmaxInto(make(mat.Vector, len(logits)), logits)
+}
+
+// LogSoftmaxInto is LogSoftmax writing into dst (length len(logits)); dst
+// may alias logits.
+func LogSoftmaxInto(dst, logits mat.Vector) mat.Vector {
 	lse := mat.LogSumExp(logits)
-	out := make(mat.Vector, len(logits))
 	for i, x := range logits {
-		out[i] = x - lse
+		dst[i] = x - lse
 	}
-	return out
+	return dst
 }
 
 // MSE returns the mean squared error ½·mean((y−target)²) and ∂loss/∂y.
 // The ½ keeps the gradient free of a factor of 2, matching the classic
 // autoencoder reconstruction objective.
 func MSE(y, target mat.Vector) (loss float64, dy mat.Vector) {
+	dy = make(mat.Vector, len(y))
+	return MSEInto(dy, y, target), dy
+}
+
+// MSEInto is MSE writing the gradient into dst (length len(y)).
+func MSEInto(dst, y, target mat.Vector) (loss float64) {
 	if len(y) != len(target) {
 		panic("nn: MSE length mismatch")
 	}
-	dy = make(mat.Vector, len(y))
 	n := float64(len(y))
 	for i := range y {
 		d := y[i] - target[i]
 		loss += d * d
-		dy[i] = d / n
+		dst[i] = d / n
 	}
-	return loss / (2 * n), dy
+	return loss / (2 * n)
 }

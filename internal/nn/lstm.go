@@ -28,10 +28,27 @@ type LSTM struct {
 	Wxp, Whp, Bp *Param
 }
 
-// LSTMState is the recurrent state (h, c) carried between timesteps.
-// The zero value is not usable; obtain fresh state from NewState.
+// oneHot is the sparse encoding of a sequence-model input: column id
+// carries 1 and, when gapCol >= 0, column gapCol carries the normalized
+// time gap. The signature-tree tokenization guarantees model inputs have
+// exactly this shape, so threading it through Step and BackwardSeq makes
+// the sparse fast path exact: the vocab-sized one-hot vector is never
+// materialized and the O(In·4H) input product collapses to O(4H).
+type oneHot struct {
+	id     int
+	gapCol int
+	gap    float64
+}
+
+// LSTMState is the recurrent state (h, c) carried between timesteps, plus
+// the state-owned scratch that makes cache-free (inference) steps
+// allocation-free. The zero value is not usable; obtain fresh state from
+// NewState. A state is owned by one goroutine at a time.
 type LSTMState struct {
 	H, C mat.Vector
+	// h0 and c0 are the state-owned buffers H and C point at initially and
+	// after Reset; z is the gate pre-activation scratch for inference steps.
+	h0, c0, z mat.Vector
 }
 
 // NewLSTM creates an LSTM layer with Xavier-initialized projections and
@@ -58,56 +75,127 @@ func (l *LSTM) Params() []*Param { return []*Param{l.Wxp, l.Whp, l.Bp} }
 
 // NewState returns a zeroed recurrent state for this layer.
 func (l *LSTM) NewState() *LSTMState {
-	return &LSTMState{H: mat.NewVector(l.Hidden), C: mat.NewVector(l.Hidden)}
+	h := mat.NewVector(l.Hidden)
+	c := mat.NewVector(l.Hidden)
+	return &LSTMState{H: h, C: c, h0: h, c0: c}
+}
+
+// Reset rewinds the state to zero without allocating, detaching it from
+// any BPTT tape vectors a previous training window bound it to.
+func (st *LSTMState) Reset() {
+	st.h0.Zero()
+	st.c0.Zero()
+	st.H, st.C = st.h0, st.c0
 }
 
 // lstmStep holds everything the backward pass needs for one timestep.
 type lstmStep struct {
-	x            mat.Vector
+	x            mat.Vector // dense input; nil when the step was sparse
+	in           oneHot     // sparse input, used when x == nil
 	hPrev, cPrev mat.Vector
 	i, f, g, o   mat.Vector
 	c, tanhC, h  mat.Vector
 }
 
-// LSTMCache is the BPTT tape produced by ForwardSeq.
+// LSTMCache is the BPTT tape produced by the forward pass. The cache owns
+// its step buffers and backward scratch: resetting and replaying it across
+// windows makes training allocation-free after the first window. A cache
+// is owned by one goroutine at a time.
 type LSTMCache struct {
 	steps []lstmStep
+	// Backward scratch, lazily sized on first BackwardSeq.
+	dh, dhNext, dcNext, dz mat.Vector
+	dxs                    []mat.Vector
 }
 
-// Step advances the recurrent state by one input and returns the new
-// hidden output. When cache is non-nil the step is recorded for BPTT;
-// pass nil on inference paths.
-func (l *LSTM) Step(x mat.Vector, st *LSTMState, cache *LSTMCache) mat.Vector {
-	H := l.Hidden
-	z := make(mat.Vector, 4*H)
-	copy(z, l.Bp.W.Row(0))
-	l.Wxp.W.MulVecAdd(z, x)
-	l.Whp.W.MulVecAdd(z, st.H)
+// reset rewinds the tape for a new sequence, keeping every buffer.
+func (c *LSTMCache) reset() { c.steps = c.steps[:0] }
 
-	i := make(mat.Vector, H)
-	f := make(mat.Vector, H)
-	g := make(mat.Vector, H)
-	o := make(mat.Vector, H)
-	c := make(mat.Vector, H)
-	tc := make(mat.Vector, H)
-	h := make(mat.Vector, H)
+// nextStep appends a (possibly recycled) step with buffers sized for H.
+func (c *LSTMCache) nextStep(h int) *lstmStep {
+	if len(c.steps) < cap(c.steps) {
+		c.steps = c.steps[:len(c.steps)+1]
+	} else {
+		c.steps = append(c.steps, lstmStep{})
+	}
+	s := &c.steps[len(c.steps)-1]
+	s.i = ensureVec(s.i, h)
+	s.f = ensureVec(s.f, h)
+	s.g = ensureVec(s.g, h)
+	s.o = ensureVec(s.o, h)
+	s.c = ensureVec(s.c, h)
+	s.tanhC = ensureVec(s.tanhC, h)
+	s.h = ensureVec(s.h, h)
+	return s
+}
+
+// ensureVec returns v resliced to length n, reallocating only when the
+// capacity is insufficient. The contents are unspecified.
+func ensureVec(v mat.Vector, n int) mat.Vector {
+	if cap(v) < n {
+		return mat.NewVector(n)
+	}
+	return v[:n]
+}
+
+// Step advances the recurrent state by one dense input and returns the new
+// hidden output. When cache is non-nil the step is recorded for BPTT and
+// the returned vector aliases the tape; with a nil cache (inference) the
+// state is updated in place using state-owned scratch and no allocation
+// occurs.
+func (l *LSTM) Step(x mat.Vector, st *LSTMState, cache *LSTMCache) mat.Vector {
+	return l.step(x, oneHot{gapCol: -1}, st, cache)
+}
+
+// StepOneHot is Step for a sparse one-hot (+ optional gap) input: the
+// input product Wx·x reduces to a column gather of Wx, removing the
+// O(In·4H) term from the timestep. The arithmetic matches the dense path
+// bit for bit.
+func (l *LSTM) StepOneHot(in oneHot, st *LSTMState, cache *LSTMCache) mat.Vector {
+	return l.step(nil, in, st, cache)
+}
+
+func (l *LSTM) step(x mat.Vector, in oneHot, st *LSTMState, cache *LSTMCache) mat.Vector {
+	H := l.Hidden
+	st.z = ensureVec(st.z, 4*H)
+	z := st.z
+	copy(z, l.Bp.W.Row(0))
+	switch {
+	case x != nil:
+		l.Wxp.W.MulVecAdd(z, x)
+	case in.gapCol >= 0:
+		l.Wxp.W.Col2GatherAdd(z, in.id, 1, in.gapCol, in.gap)
+	default:
+		l.Wxp.W.ColGatherAdd(z, in.id, 1)
+	}
+	l.Whp.W.MulVecAdd(z, st.H)
+	if cache == nil {
+		// Inference: fold the gates straight into the state, in place.
+		for j := 0; j < H; j++ {
+			i := sigmoid(z[j])
+			f := sigmoid(z[H+j])
+			g := math.Tanh(z[2*H+j])
+			o := sigmoid(z[3*H+j])
+			c := f*st.C[j] + i*g
+			st.C[j] = c
+			st.H[j] = o * math.Tanh(c)
+		}
+		return st.H
+	}
+	s := cache.nextStep(H)
+	s.x, s.in = x, in
+	s.hPrev, s.cPrev = st.H, st.C
 	for j := 0; j < H; j++ {
-		i[j] = sigmoid(z[j])
-		f[j] = sigmoid(z[H+j])
-		g[j] = math.Tanh(z[2*H+j])
-		o[j] = sigmoid(z[3*H+j])
-		c[j] = f[j]*st.C[j] + i[j]*g[j]
-		tc[j] = math.Tanh(c[j])
-		h[j] = o[j] * tc[j]
+		s.i[j] = sigmoid(z[j])
+		s.f[j] = sigmoid(z[H+j])
+		s.g[j] = math.Tanh(z[2*H+j])
+		s.o[j] = sigmoid(z[3*H+j])
+		s.c[j] = s.f[j]*s.cPrev[j] + s.i[j]*s.g[j]
+		s.tanhC[j] = math.Tanh(s.c[j])
+		s.h[j] = s.o[j] * s.tanhC[j]
 	}
-	if cache != nil {
-		cache.steps = append(cache.steps, lstmStep{
-			x: x, hPrev: st.H, cPrev: st.C,
-			i: i, f: f, g: g, o: o, c: c, tanhC: tc, h: h,
-		})
-	}
-	st.H, st.C = h, c
-	return h
+	st.H, st.C = s.h, s.c
+	return s.h
 }
 
 // ForwardSeq runs the layer over xs starting from a zero state and returns
@@ -124,24 +212,35 @@ func (l *LSTM) ForwardSeq(xs []mat.Vector) ([]mat.Vector, *LSTMCache) {
 
 // BackwardSeq consumes dhs[t] = ∂loss/∂h_t for every timestep, accumulates
 // the parameter gradients, and returns dxs[t] = ∂loss/∂x_t. dhs must have
-// the same length as the forward sequence.
+// the same length as the forward sequence. The returned vectors alias the
+// cache's scratch and stay valid until its next BackwardSeq; entries for
+// sparse (one-hot) steps are nil — nothing consumes input gradients below
+// the input layer, and skipping them removes the second O(In·4H) term.
 func (l *LSTM) BackwardSeq(cache *LSTMCache, dhs []mat.Vector) []mat.Vector {
 	H := l.Hidden
 	T := len(cache.steps)
 	if len(dhs) != T {
 		panic("nn: BackwardSeq gradient count mismatch")
 	}
-	dxs := make([]mat.Vector, T)
-	dhNext := mat.NewVector(H) // gradient flowing from t+1 into h_t
-	dcNext := mat.NewVector(H) // gradient flowing from t+1 into c_t
-	dz := make(mat.Vector, 4*H)
+	if cap(cache.dxs) < T {
+		next := make([]mat.Vector, T)
+		copy(next, cache.dxs)
+		cache.dxs = next
+	}
+	cache.dxs = cache.dxs[:T]
+	dxs := cache.dxs
+	cache.dh = ensureVec(cache.dh, H)
+	cache.dhNext = ensureVec(cache.dhNext, H)
+	cache.dcNext = ensureVec(cache.dcNext, H)
+	cache.dz = ensureVec(cache.dz, 4*H)
+	dh, dhNext, dcNext, dz := cache.dh, cache.dhNext, cache.dcNext, cache.dz
+	dhNext.Zero() // gradient flowing from t+1 into h_t
+	dcNext.Zero() // gradient flowing from t+1 into c_t
 	for t := T - 1; t >= 0; t-- {
 		s := &cache.steps[t]
-		dh := make(mat.Vector, H)
 		for j := 0; j < H; j++ {
 			dh[j] = dhs[t][j] + dhNext[j]
 		}
-		dcNew := make(mat.Vector, H)
 		for j := 0; j < H; j++ {
 			// h = o ⊙ tanh(c)
 			do := dh[j] * s.tanhC[j]
@@ -149,24 +248,34 @@ func (l *LSTM) BackwardSeq(cache *LSTMCache, dhs []mat.Vector) []mat.Vector {
 			di := dc * s.g[j]
 			df := dc * s.cPrev[j]
 			dg := dc * s.i[j]
-			dcNew[j] = dc * s.f[j]
+			dcNext[j] = dc * s.f[j] // safe in place: index j is done with
 			// Gate pre-activation gradients.
 			dz[j] = di * s.i[j] * (1 - s.i[j])
 			dz[H+j] = df * s.f[j] * (1 - s.f[j])
 			dz[2*H+j] = dg * (1 - s.g[j]*s.g[j])
 			dz[3*H+j] = do * s.o[j] * (1 - s.o[j])
 		}
-		l.Wxp.Grad.AddOuter(1, dz, s.x)
+		if s.x != nil {
+			l.Wxp.Grad.AddOuter(1, dz, s.x)
+			dx := ensureVec(dxs[t], l.In)
+			dx.Zero()
+			l.Wxp.W.TransMulVecAdd(dx, dz)
+			dxs[t] = dx
+		} else {
+			// Sparse one-hot input: the weight-gradient outer product
+			// touches only the id (and gap) columns, and the input
+			// gradient is never consumed.
+			l.Wxp.Grad.AddOuterOneHot(1, dz, s.in.id)
+			if s.in.gapCol >= 0 && s.in.gap != 0 {
+				l.Wxp.Grad.AddOuterOneHot(s.in.gap, dz, s.in.gapCol)
+			}
+			dxs[t] = nil
+		}
 		l.Whp.Grad.AddOuter(1, dz, s.hPrev)
 		l.Bp.Grad.Row(0).AddInPlace(dz)
 
-		dx := make(mat.Vector, l.In)
-		l.Wxp.W.TransMulVecAdd(dx, dz)
-		dxs[t] = dx
-
 		dhNext.Zero()
 		l.Whp.W.TransMulVecAdd(dhNext, dz)
-		dcNext = dcNew
 	}
 	return dxs
 }
@@ -187,4 +296,16 @@ func (l *LSTM) clone() *LSTM {
 	out.Whp.Frozen = l.Whp.Frozen
 	out.Bp.Frozen = l.Bp.Frozen
 	return out
+}
+
+// shadow returns a layer sharing l's weight matrices but owning fresh
+// gradient accumulators, for data-parallel gradient workers.
+func (l *LSTM) shadow() *LSTM {
+	return &LSTM{
+		In:     l.In,
+		Hidden: l.Hidden,
+		Wxp:    l.Wxp.shadow(),
+		Whp:    l.Whp.shadow(),
+		Bp:     l.Bp.shadow(),
+	}
 }

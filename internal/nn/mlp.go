@@ -14,6 +14,10 @@ import (
 // indicator.
 type MLP struct {
 	layers []*Dense
+	// Training scratch, lazily built and reused across examples. Owned by
+	// one training goroutine at a time.
+	caches []*DenseCache
+	dy     mat.Vector
 }
 
 // MLPConfig configures an MLP.
@@ -105,11 +109,23 @@ func (m *MLP) Backward(caches []*DenseCache, dy mat.Vector) mat.Vector {
 }
 
 // TrainReconstruction accumulates gradients for one autoencoder example
-// (target = input) and returns the reconstruction loss.
+// (target = input) and returns the reconstruction loss. Allocation-free
+// after the first call: the forward caches and loss gradient live in the
+// network's reusable scratch. Not safe for concurrent use on one MLP.
 func (m *MLP) TrainReconstruction(x mat.Vector) float64 {
-	y, caches := m.Forward(x)
-	loss, dy := MSE(y, x)
-	m.Backward(caches, dy)
+	if m.caches == nil {
+		m.caches = make([]*DenseCache, len(m.layers))
+		for i := range m.caches {
+			m.caches[i] = &DenseCache{}
+		}
+	}
+	h := x
+	for i, l := range m.layers {
+		h = l.ForwardInto(m.caches[i], h)
+	}
+	m.dy = ensureVec(m.dy, len(h))
+	loss := MSEInto(m.dy, h, x)
+	m.Backward(m.caches, m.dy)
 	return loss
 }
 

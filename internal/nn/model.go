@@ -36,10 +36,32 @@ type SeqModelConfig struct {
 // template (plus optional time-gap feature) feeds a stack of LSTM layers
 // whose final hidden state feeds one dense layer producing logits over the
 // template vocabulary (§4.2, §5.1: "2 LSTM layers and 1 dense layer").
+//
+// Because the input is one-hot by construction, the model never
+// materializes the vocab-sized input vector: tokens flow through the
+// layers' sparse kernels (StepOneHot, AddOuterOneHot), which removes the
+// O(Vocab·4H) term from every timestep of both training and inference.
+//
+// A model may be scored concurrently (each goroutine with its own
+// StreamState), but TrainWindow must not run concurrently on the same
+// model — data-parallel trainers use ShadowClone for that.
 type SequenceModel struct {
 	cfg   SeqModelConfig
 	lstms []*LSTM
 	out   *Dense
+	tr    *trainArena
+}
+
+// trainArena holds every reusable buffer one TrainWindow pass needs, so
+// repeated windows allocate nothing. A model owns one arena; shadow clones
+// own their own, which is what makes data-parallel gradient workers
+// race-free.
+type trainArena struct {
+	states   []*LSTMState
+	caches   []*LSTMCache
+	outCache DenseCache
+	dlogits  mat.Vector
+	dhs      []mat.Vector // per-timestep ∂loss/∂h over the top layer
 }
 
 // NewSequenceModel builds a model per cfg. It panics on a non-positive
@@ -95,20 +117,42 @@ func (m *SequenceModel) NumParams() int {
 	return n
 }
 
-// encode converts a token into the model's input vector.
+// encode converts a token into the model's dense input vector. The hot
+// paths never call this — they use the sparse oneHotOf form — but it
+// remains the reference encoding for tests and the dense fallback.
 func (m *SequenceModel) encode(tok Token) mat.Vector {
 	x := mat.NewVector(m.InputSize())
+	in := m.oneHotOf(tok)
+	x[in.id] = 1
+	if in.gapCol >= 0 {
+		x[in.gapCol] = in.gap
+	}
+	return x
+}
+
+// oneHotOf converts a token into the sparse input the layer kernels
+// consume, clamping unknown templates to the last ("other") class.
+func (m *SequenceModel) oneHotOf(tok Token) oneHot {
 	id := tok.ID
 	if id < 0 || id >= m.cfg.Vocab {
 		// Unknown templates map to the last class; the signature tree
 		// reserves it for "other".
 		id = m.cfg.Vocab - 1
 	}
-	x[id] = 1
+	in := oneHot{id: id, gapCol: -1}
 	if m.cfg.UseGap {
-		x[m.cfg.Vocab] = normalizeGap(tok.Gap)
+		in.gapCol = m.cfg.Vocab
+		in.gap = normalizeGap(tok.Gap)
 	}
-	return x
+	return in
+}
+
+// targetOf clamps a next-token ID into the class space.
+func (m *SequenceModel) targetOf(tok Token) int {
+	if tok.ID < 0 || tok.ID >= m.cfg.Vocab {
+		return m.cfg.Vocab - 1
+	}
+	return tok.ID
 }
 
 // normalizeGap maps a non-negative gap in seconds to roughly [0, 1.5] via
@@ -120,54 +164,85 @@ func normalizeGap(gap float64) float64 {
 	return math.Log1p(gap) / 8.0
 }
 
+// arena returns the model's training arena, building it on first use.
+func (m *SequenceModel) arena() *trainArena {
+	if m.tr == nil {
+		a := &trainArena{}
+		for _, l := range m.lstms {
+			a.states = append(a.states, l.NewState())
+			a.caches = append(a.caches, &LSTMCache{})
+		}
+		m.tr = a
+	}
+	return m.tr
+}
+
 // TrainWindow performs one BPTT pass over window, predicting window[t+1].ID
 // from window[0..t] at every position, accumulates gradients, and returns
 // the mean cross-entropy. The caller applies an Optimizer afterwards; this
 // split lets trainers batch several windows per optimizer step.
 // Windows shorter than 2 tokens contribute nothing and return 0.
+//
+// The pass is allocation-free after the first call: inputs stay in their
+// sparse one-hot form and every intermediate lives in the model's arena.
+// Not safe for concurrent use on one model; see ShadowClone.
 func (m *SequenceModel) TrainWindow(window []Token) float64 {
 	if len(window) < 2 {
 		return 0
 	}
 	T := len(window) - 1
-	xs := make([]mat.Vector, T)
-	for t := 0; t < T; t++ {
-		xs[t] = m.encode(window[t])
+	a := m.arena()
+	// Forward through the LSTM stack, layer by layer, keeping every
+	// layer's tape. The bottom layer consumes sparse tokens directly.
+	for li := range m.lstms {
+		a.states[li].Reset()
+		a.caches[li].reset()
 	}
-	// Forward through LSTM stack, keeping every layer's tape.
-	caches := make([]*LSTMCache, len(m.lstms))
-	hs := xs
-	for li, l := range m.lstms {
-		hs, caches[li] = l.ForwardSeq(hs)
+	bottom := m.lstms[0]
+	for t := 0; t < T; t++ {
+		bottom.StepOneHot(m.oneHotOf(window[t]), a.states[0], a.caches[0])
+	}
+	for li := 1; li < len(m.lstms); li++ {
+		l, prev := m.lstms[li], a.caches[li-1]
+		for t := 0; t < T; t++ {
+			l.Step(prev.steps[t].h, a.states[li], a.caches[li])
+		}
 	}
 	// Output layer + loss per timestep.
+	top := a.caches[len(m.lstms)-1]
+	if cap(a.dhs) < T {
+		next := make([]mat.Vector, T)
+		copy(next, a.dhs)
+		a.dhs = next
+	}
+	a.dhs = a.dhs[:T]
+	a.dlogits = ensureVec(a.dlogits, m.cfg.Vocab)
 	var total float64
-	denseCaches := make([]*DenseCache, T)
-	dhs := make([]mat.Vector, T)
 	for t := 0; t < T; t++ {
-		logits, dc := m.out.Forward(hs[t])
-		denseCaches[t] = dc
-		target := window[t+1].ID
-		if target < 0 || target >= m.cfg.Vocab {
-			target = m.cfg.Vocab - 1
-		}
-		loss, dlogits := SoftmaxCrossEntropy(logits, target)
+		logits := m.out.ForwardInto(&a.outCache, top.steps[t].h)
+		loss := SoftmaxCrossEntropyInto(a.dlogits, logits, m.targetOf(window[t+1]))
 		total += loss
 		// Scale so gradients are means over the window.
-		dlogits.ScaleInPlace(1 / float64(T))
-		dhs[t] = m.out.Backward(denseCaches[t], dlogits)
+		a.dlogits.ScaleInPlace(1 / float64(T))
+		dh := m.out.Backward(&a.outCache, a.dlogits)
+		a.dhs[t] = ensureVec(a.dhs[t], len(dh))
+		copy(a.dhs[t], dh)
 	}
 	// Backward through the LSTM stack, top layer first.
-	grads := dhs
+	grads := a.dhs
 	for li := len(m.lstms) - 1; li >= 0; li-- {
-		grads = m.lstms[li].BackwardSeq(caches[li], grads)
+		grads = m.lstms[li].BackwardSeq(a.caches[li], grads)
 	}
 	return total / float64(T)
 }
 
-// StreamState carries the per-layer recurrent state for online scoring.
+// StreamState carries the per-layer recurrent state for online scoring,
+// plus the output scratch that makes scoring allocation-free. Each
+// concurrent scorer needs its own StreamState.
 type StreamState struct {
 	layers []*LSTMState
+	logits mat.Vector
+	logp   mat.Vector
 }
 
 // NewStreamState returns a zeroed streaming state.
@@ -180,24 +255,30 @@ func (m *SequenceModel) NewStreamState() *StreamState {
 }
 
 // StepLogits feeds one token through the model, advancing st, and returns
-// the logits over the next template.
+// the logits over the next template. The returned vector aliases st's
+// scratch and stays valid until the next step on the same state.
 func (m *SequenceModel) StepLogits(tok Token, st *StreamState) mat.Vector {
-	h := m.encode(tok)
-	for i, l := range m.lstms {
-		h = l.Step(h, st.layers[i], nil)
+	h := m.lstms[0].StepOneHot(m.oneHotOf(tok), st.layers[0], nil)
+	for i := 1; i < len(m.lstms); i++ {
+		h = m.lstms[i].Step(h, st.layers[i], nil)
 	}
-	return m.out.Infer(h)
+	st.logits = ensureVec(st.logits, m.cfg.Vocab)
+	return m.out.InferInto(st.logits, h)
 }
 
 // StepLogProbs feeds one token and returns log-probabilities over the next
-// template, the quantity thresholded by the anomaly detector.
+// template, the quantity thresholded by the anomaly detector. The returned
+// vector aliases st's scratch and stays valid until the next step on the
+// same state.
 func (m *SequenceModel) StepLogProbs(tok Token, st *StreamState) mat.Vector {
-	return LogSoftmax(m.StepLogits(tok, st))
+	st.logp = ensureVec(st.logp, m.cfg.Vocab)
+	return LogSoftmaxInto(st.logp, m.StepLogits(tok, st))
 }
 
 // SequenceLogLoss returns the mean next-token negative log-likelihood of
 // window under the model (no gradients). Used by validation loops and the
-// over-sampling trainer to find poorly modeled normal windows.
+// over-sampling trainer to find poorly modeled normal windows. Safe to
+// call concurrently.
 func (m *SequenceModel) SequenceLogLoss(window []Token) float64 {
 	if len(window) < 2 {
 		return 0
@@ -206,11 +287,7 @@ func (m *SequenceModel) SequenceLogLoss(window []Token) float64 {
 	var total float64
 	for t := 0; t < len(window)-1; t++ {
 		lp := m.StepLogProbs(window[t], st)
-		target := window[t+1].ID
-		if target < 0 || target >= m.cfg.Vocab {
-			target = m.cfg.Vocab - 1
-		}
-		total -= lp[target]
+		total -= lp[m.targetOf(window[t+1])]
 	}
 	return total / float64(len(window)-1)
 }
@@ -223,6 +300,20 @@ func (m *SequenceModel) Clone() *SequenceModel {
 		out.lstms = append(out.lstms, l.clone())
 	}
 	out.out = m.out.clone()
+	return out
+}
+
+// ShadowClone returns a model that shares m's weight matrices but owns
+// fresh gradient accumulators and scratch. Shadows are the unit of
+// data-parallel training: workers run TrainWindow on disjoint shadows
+// against the shared (read-only during the batch) weights, and the trainer
+// merges the shadow gradients into m's in a deterministic order.
+func (m *SequenceModel) ShadowClone() *SequenceModel {
+	out := &SequenceModel{cfg: m.cfg}
+	for _, l := range m.lstms {
+		out.lstms = append(out.lstms, l.shadow())
+	}
+	out.out = m.out.shadow()
 	return out
 }
 

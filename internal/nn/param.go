@@ -32,6 +32,19 @@ func newParam(name string, rows, cols int) *Param {
 	}
 }
 
+// shadow returns a Param sharing p's weight matrix but owning a fresh
+// gradient accumulator. Data-parallel trainers hand each worker a shadow
+// so gradient writes never race; the shadows' accumulators are merged into
+// the primary in a deterministic order before each optimizer step.
+func (p *Param) shadow() *Param {
+	return &Param{
+		Name:   p.Name,
+		W:      p.W,
+		Grad:   mat.NewMatrix(p.W.Rows, p.W.Cols),
+		Frozen: p.Frozen,
+	}
+}
+
 // ZeroGrad clears the gradient accumulator.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 

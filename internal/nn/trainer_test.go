@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func trainerWindows(n, vocab, length int, seed int64) [][]Token {
+	rng := rand.New(rand.NewSource(seed))
+	wins := make([][]Token, n)
+	for i := range wins {
+		w := make([]Token, length)
+		for j := range w {
+			w[j] = Token{ID: rng.Intn(vocab), Gap: rng.Float64() * 50}
+		}
+		wins[i] = w
+	}
+	return wins
+}
+
+func trainWith(batch, workers int) *SequenceModel {
+	m := NewSequenceModel(SeqModelConfig{Vocab: 12, Hidden: []int{10, 8}, UseGap: true, Seed: 5})
+	bt := NewBatchTrainer(m, NewAdam(0.003, 5), batch, workers)
+	wins := trainerWindows(17, 12, 9, 99) // 17 windows → a final short batch
+	for epoch := 0; epoch < 2; epoch++ {
+		bt.Train(wins)
+	}
+	return m
+}
+
+func assertSameWeights(t *testing.T, a, b *SequenceModel, label string) {
+	t.Helper()
+	ap, bp := a.Params(), b.Params()
+	for i := range ap {
+		for j := range ap[i].W.Data {
+			if ap[i].W.Data[j] != bp[i].W.Data[j] {
+				t.Fatalf("%s: param %s weight[%d] diverged: %v vs %v",
+					label, ap[i].Name, j, ap[i].W.Data[j], bp[i].W.Data[j])
+			}
+		}
+	}
+}
+
+// The determinism contract: for a fixed window order and batch size, the
+// trained weights are bit-identical regardless of the worker count.
+func TestBatchTrainerWorkerCountInvariant(t *testing.T) {
+	ref := trainWith(4, 1)
+	assertSameWeights(t, ref, trainWith(4, 2), "workers 1 vs 2")
+	assertSameWeights(t, ref, trainWith(4, 4), "workers 1 vs 4")
+	assertSameWeights(t, ref, trainWith(4, 16), "workers 1 vs 16 (clamped)")
+}
+
+// With BatchWindows=1 the trainer must reproduce the seed semantics
+// exactly: one optimizer step per window, applied directly to the model.
+func TestBatchTrainerSingleWindowMatchesDirect(t *testing.T) {
+	direct := NewSequenceModel(SeqModelConfig{Vocab: 12, Hidden: []int{10, 8}, UseGap: true, Seed: 5})
+	opt := NewAdam(0.003, 5)
+	wins := trainerWindows(17, 12, 9, 99)
+	for epoch := 0; epoch < 2; epoch++ {
+		for _, w := range wins {
+			if direct.TrainWindow(w) > 0 {
+				opt.Step(direct.Params())
+			}
+		}
+	}
+	assertSameWeights(t, direct, trainWith(1, 1), "direct vs trainer batch=1")
+	// Worker count must not matter even at batch 1 (it is clamped).
+	assertSameWeights(t, direct, trainWith(1, 8), "direct vs trainer batch=1 workers=8")
+}
+
+// Shadow clones must share weights with the primary and keep gradient
+// accumulation fully private.
+func TestShadowCloneSharesWeightsOwnsGrads(t *testing.T) {
+	m := NewSequenceModel(SeqModelConfig{Vocab: 8, Hidden: []int{6}, UseGap: true, Seed: 2})
+	sh := m.ShadowClone()
+	mp, sp := m.Params(), sh.Params()
+	for i := range mp {
+		if &mp[i].W.Data[0] != &sp[i].W.Data[0] {
+			t.Fatalf("param %s: shadow does not share weights", mp[i].Name)
+		}
+		if &mp[i].Grad.Data[0] == &sp[i].Grad.Data[0] {
+			t.Fatalf("param %s: shadow shares gradient buffer", mp[i].Name)
+		}
+	}
+	window := []Token{{ID: 0, Gap: 1}, {ID: 1, Gap: 2}, {ID: 2, Gap: 3}}
+	sh.TrainWindow(window)
+	for i := range mp {
+		for _, g := range mp[i].Grad.Data {
+			if g != 0 {
+				t.Fatalf("param %s: shadow training leaked into primary grads", mp[i].Name)
+			}
+		}
+	}
+}

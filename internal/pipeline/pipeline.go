@@ -151,6 +151,11 @@ func (c *Config) newDetector(clusterIdx int) (detect.Detector, error) {
 	case MethodLSTM, "":
 		cfg := c.LSTM
 		cfg.Seed += int64(clusterIdx) * 101
+		if cfg.Parallelism <= 0 {
+			// Inherit the pipeline's worker budget for in-training
+			// parallelism (batch gradients, loss evaluation).
+			cfg.Parallelism = c.Parallelism
+		}
 		return detect.NewLSTMDetector(cfg), nil
 	case MethodAutoencoder:
 		cfg := c.AE
@@ -196,6 +201,9 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 	}
 
 	// --- Initial training on month 0 -----------------------------------
+	// Detectors are independent (cluster-specific seeds and disjoint
+	// training streams; the dataset is immutable), so the K trainings run
+	// concurrently. Results are identical to the sequential order.
 	dets := make([]detect.Detector, res.Clusters.K)
 	for ci := range dets {
 		d, err := cfg.newDetector(ci)
@@ -203,13 +211,19 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		dets[ci] = d
+	}
+	err := forEachCluster(res.Clusters.K, cfg.Parallelism, func(ci int) error {
 		streams := ds.CleanMonthStreams(members[ci], 0, cfg.TrainExclusion)
 		if len(streams) == 0 {
-			continue
+			return nil
 		}
-		if err := d.Train(streams); err != nil {
-			return nil, fmt.Errorf("pipeline: initial training cluster %d: %w", ci, err)
+		if err := dets[ci].Train(streams); err != nil {
+			return fmt.Errorf("pipeline: initial training cluster %d: %w", ci, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// --- Walk forward ---------------------------------------------------
@@ -240,15 +254,15 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 				if histFrom.Before(monthFrom) {
 					histFrom = monthFrom
 				}
-				for ci := range dets {
+				err := forEachCluster(res.Clusters.K, cfg.Parallelism, func(ci int) error {
 					// Rollouts stagger across a cluster, so allow
 					// repeated adaptation within the month when drift
 					// persists for late-updated members.
 					if adaptsThisMonth[ci] >= 2 || len(members[ci]) == 0 {
-						continue
+						return nil
 					}
 					if !clusterDriftedWeek(ds, members[ci], histFrom, wTo, m-1, cfg.DriftThreshold, cfg.DriftFraction) {
-						continue
+						return nil
 					}
 					var streams [][]features.Event
 					for _, v := range members[ci] {
@@ -257,12 +271,16 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 						}
 					}
 					if len(streams) == 0 {
-						continue
+						return nil
 					}
 					if err := dets[ci].Adapt(streams); err != nil {
-						return nil, fmt.Errorf("pipeline: adapt cluster %d month %d: %w", ci, m, err)
+						return fmt.Errorf("pipeline: adapt cluster %d month %d: %w", ci, m, err)
 					}
 					adaptsThisMonth[ci]++
+					return nil
+				})
+				if err != nil {
+					return nil, err
 				}
 			}
 			wFrom = wTo
@@ -302,9 +320,9 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 		if m == ds.Months-1 {
 			break
 		}
-		for ci := range dets {
+		err := forEachCluster(res.Clusters.K, cfg.Parallelism, func(ci int) error {
 			if adaptsThisMonth[ci] > 0 || len(members[ci]) == 0 {
-				continue
+				return nil
 			}
 			if cfg.Variant != CustomizedAdaptive && cfg.RetrainLagMonths > 0 {
 				if retrainAt[ci] == 0 && clusterDriftedWeek(ds, members[ci], monthFrom, monthTo, m-1, cfg.DriftThreshold, cfg.DriftFraction) {
@@ -324,19 +342,23 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 					}
 					if len(streams) > 0 {
 						if err := dets[ci].Train(streams); err != nil {
-							return nil, fmt.Errorf("pipeline: retrain cluster %d month %d: %w", ci, m, err)
+							return fmt.Errorf("pipeline: retrain cluster %d month %d: %w", ci, m, err)
 						}
-						continue
+						return nil
 					}
 				}
 			}
 			streams := ds.CleanMonthStreams(members[ci], m, cfg.TrainExclusion)
 			if len(streams) == 0 {
-				continue
+				return nil
 			}
 			if err := dets[ci].Update(streams); err != nil {
-				return nil, fmt.Errorf("pipeline: update cluster %d month %d: %w", ci, m, err)
+				return fmt.Errorf("pipeline: update cluster %d month %d: %w", ci, m, err)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -349,6 +371,43 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 	warns := detect.ClusterWarnings(anoms, cfg.Eval.ClusterWindow, cfg.Eval.MinClusterSize)
 	res.Outcome = eval.MapWarnings(warns, ds.Tickets, cfg.Eval, evalFrom, evalTo)
 	return res, nil
+}
+
+// forEachCluster runs fn(ci) for ci in [0, k), fanning out across at most
+// parallelism goroutines. Cluster detectors are mutually independent, so
+// concurrent training produces exactly the sequential results; fn must
+// only touch per-cluster state (indexed writes). The first error by
+// cluster index is returned, making error selection deterministic too.
+func forEachCluster(k, parallelism int, fn func(ci int) error) error {
+	if parallelism > k {
+		parallelism = k
+	}
+	if parallelism <= 1 || k <= 1 {
+		for ci := 0; ci < k; ci++ {
+			if err := fn(ci); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ci := w; ci < k; ci += parallelism {
+				errs[ci] = fn(ci)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // scoreRange scores every vPE's [from, to) stream with its cluster's
