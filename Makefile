@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-nn bench-pipeline figures
+.PHONY: build test test-race ci bench bench-nn bench-pipeline figures
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,18 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent paths: data-parallel gradient
-# workers, per-cluster training fan-out, and concurrent scoring.
+# workers, per-cluster training fan-out, concurrent scoring, the ingest
+# server (sink-panic recovery, close-during-frame), and the checkpoint /
+# fault-injection suites.
 test-race:
 	$(GO) test -race ./internal/...
+
+# Full gate: what a CI job runs. Vet, build, the whole test suite, and the
+# race pass over the concurrent packages.
+ci: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(MAKE) test-race
 
 bench: bench-nn bench-pipeline
 

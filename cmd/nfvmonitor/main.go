@@ -4,9 +4,18 @@
 // warning signature whenever a vPE emits a cluster of anomalous messages
 // (§5.1's ≥2-within-a-minute rule).
 //
+// The monitor is built to run continuously. With -checkpoint it snapshots
+// its online state (grown signature tree, per-vPE LSTM streams, warning
+// history, counters) atomically on an interval and at shutdown, and resumes
+// from the snapshot on the next start — a restart costs no warm-up. With
+// -model it serves a trained bundle and hot-reloads it on SIGHUP: a new
+// bundle that fails validation is rejected and the serving bundle stays
+// active (§4.4's monthly retraining loop, minus the downtime).
+//
 // Usage:
 //
-//	nfvmonitor -udp 127.0.0.1:5514 -tcp 127.0.0.1:5514 -threshold 6
+//	nfvmonitor -udp 127.0.0.1:5514 -tcp 127.0.0.1:5514 -threshold 6 \
+//	           -model model.bundle -checkpoint monitor.ckpt
 //
 // Point any RFC 3164 syslog sender at it, e.g.:
 //
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"nfvpredict"
@@ -36,68 +46,90 @@ func main() {
 	threshold := flag.Float64("threshold", 6, "anomaly threshold (negative log-likelihood; overridden by a bundle's recommendation)")
 	year := flag.Int("year", time.Now().Year(), "year for RFC 3164 timestamps")
 	seed := flag.Int64("seed", 1, "bootstrap-simulation seed (when no -model)")
-	model := flag.String("model", "", "trained bundle from cmd/nfvtrain (empty: bootstrap on simulation)")
+	model := flag.String("model", "", "trained bundle from cmd/nfvtrain (empty: bootstrap on simulation); SIGHUP hot-reloads it")
+	ckpt := flag.String("checkpoint", "", "checkpoint file: online state is saved here periodically and restored at startup (empty disables)")
+	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "how often to write the checkpoint")
 	flag.Parse()
 
-	if err := run(*udp, *tcp, *threshold, *year, *seed, *model); err != nil {
+	if err := run(*udp, *tcp, *threshold, *year, *seed, *model, *ckpt, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "nfvmonitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(udp, tcp string, threshold float64, year int, seed int64, model string) error {
-	var tree *sigtree.Tree
-	var resolve func(string) *detect.LSTMDetector
+// loadServing builds the serving model (tree + resolver + threshold) from a
+// bundle file or, without one, by bootstrap-training on a simulated month.
+func loadServing(model string, threshold float64, seed int64) (*sigtree.Tree, func(string) *detect.LSTMDetector, float64, error) {
 	if model != "" {
-		f, err := os.Open(model)
+		b, err := bundle.LoadFile(model)
 		if err != nil {
-			return err
+			return nil, nil, 0, err
 		}
-		b, err := bundle.Load(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		tree = b.Tree
-		resolve = b.DetectorFor
 		if b.Threshold > 0 {
 			threshold = b.Threshold
 		}
 		fmt.Printf("loaded bundle %s: %d detectors, %d templates, threshold %.3f\n",
-			model, len(b.Detectors), tree.Len(), threshold)
-	} else {
-		// Bootstrap: train on a simulated month of normal fleet traffic.
-		fmt.Println("bootstrapping detector on simulated training archive...")
-		simCfg := nfvpredict.SmallSimConfig()
-		simCfg.Seed = seed
-		simCfg.Months = 1
-		simCfg.UpdateMonth = -1
-		trace, err := nfvpredict.Simulate(simCfg)
-		if err != nil {
-			return err
+			model, len(b.Detectors), b.Tree.Len(), threshold)
+		return b.Tree, b.DetectorFor, threshold, nil
+	}
+	// Bootstrap: train on a simulated month of normal fleet traffic.
+	fmt.Println("bootstrapping detector on simulated training archive...")
+	simCfg := nfvpredict.SmallSimConfig()
+	simCfg.Seed = seed
+	simCfg.Months = 1
+	simCfg.UpdateMonth = -1
+	trace, err := nfvpredict.Simulate(simCfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	ds := pipeline.BuildDataset(trace, simCfg.Start, simCfg.Months)
+	var streams [][]features.Event
+	for _, v := range ds.VPEs {
+		if ev := ds.CleanEvents(v, ds.MonthStart(0), ds.MonthStart(1), 72*time.Hour); len(ev) > 0 {
+			streams = append(streams, ev)
 		}
-		ds := pipeline.BuildDataset(trace, simCfg.Start, simCfg.Months)
-		var streams [][]features.Event
-		for _, v := range ds.VPEs {
-			if ev := ds.CleanEvents(v, ds.MonthStart(0), ds.MonthStart(1), 72*time.Hour); len(ev) > 0 {
-				streams = append(streams, ev)
-			}
-		}
-		det := detect.NewLSTMDetector(detect.DefaultLSTMConfig())
-		if err := det.Train(streams); err != nil {
-			return err
-		}
-		fmt.Printf("detector trained on %d vPE streams, %d templates known\n", len(streams), ds.Tree.Len())
-		tree = ds.Tree
-		resolve = func(string) *detect.LSTMDetector { return det }
+	}
+	det := detect.NewLSTMDetector(detect.DefaultLSTMConfig())
+	if err := det.Train(streams); err != nil {
+		return nil, nil, 0, err
+	}
+	fmt.Printf("detector trained on %d vPE streams, %d templates known\n", len(streams), ds.Tree.Len())
+	return ds.Tree, func(string) *detect.LSTMDetector { return det }, threshold, nil
+}
+
+func run(udp, tcp string, threshold float64, year int, seed int64, model, ckpt string, ckptEvery time.Duration) error {
+	tree, resolve, threshold, err := loadServing(model, threshold, seed)
+	if err != nil {
+		return err
 	}
 
 	mcfg := ingest.DefaultMonitorConfig()
 	mcfg.Threshold = threshold
-	mon := ingest.NewMonitorWithResolver(mcfg, tree, resolve, func(w nfvpredict.Warning) {
+	onWarning := func(w nfvpredict.Warning) {
 		fmt.Printf("%s WARNING vpe=%s anomalies=%d first=%s\n",
 			time.Now().Format(time.RFC3339), w.VPE, w.Size, w.Time.Format(time.RFC3339))
-	})
+	}
+
+	// Resume from the last checkpoint when one exists; any failure —
+	// missing file, corruption, model mismatch after a retrain — degrades
+	// to a cold start, never a refusal to serve.
+	var mon *ingest.Monitor
+	if ckpt != "" {
+		if _, serr := os.Stat(ckpt); serr == nil {
+			restored, rerr := ingest.RestoreMonitorFile(ckpt, mcfg, resolve, onWarning)
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "nfvmonitor: checkpoint %s unusable (%v), starting cold\n", ckpt, rerr)
+			} else {
+				mon = restored
+				st := mon.Stats()
+				fmt.Printf("restored checkpoint %s: %d hosts, %d messages, %d warnings\n",
+					ckpt, st.ActiveHosts, st.Messages, st.Warnings)
+			}
+		}
+	}
+	if mon == nil {
+		mon = ingest.NewMonitorWithResolver(mcfg, tree, resolve, onWarning)
+	}
 
 	scfg := ingest.DefaultServerConfig()
 	scfg.UDPAddr, scfg.TCPAddr, scfg.Year = udp, tcp, year
@@ -105,7 +137,7 @@ func run(udp, tcp string, threshold float64, year int, seed int64, model string)
 	if err != nil {
 		return err
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv.Start(ctx)
 	defer srv.Close()
@@ -116,19 +148,59 @@ func run(udp, tcp string, threshold float64, year int, seed int64, model string)
 		fmt.Println("listening TCP", a)
 	}
 
-	ticker := time.NewTicker(10 * time.Second)
-	defer ticker.Stop()
+	// SIGHUP: hot-reload the bundle. A bundle that fails to load or
+	// validate is rejected and the serving model stays active.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
+	saveCheckpoint := func(reason string) {
+		if ckpt == "" {
+			return
+		}
+		if err := mon.CheckpointFile(ckpt); err != nil {
+			fmt.Fprintf(os.Stderr, "nfvmonitor: checkpoint failed (%s): %v\n", reason, err)
+			return
+		}
+	}
+
+	status := time.NewTicker(10 * time.Second)
+	defer status.Stop()
+	ckptTick := make(<-chan time.Time) // nil channel: disabled
+	if ckpt != "" && ckptEvery > 0 {
+		t := time.NewTicker(ckptEvery)
+		defer t.Stop()
+		ckptTick = t.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
-			msgs, anoms := mon.Counters()
+			saveCheckpoint("shutdown")
+			mst := mon.Stats()
 			st := srv.Stats()
-			fmt.Printf("\nshutting down: %d messages (%d malformed, %d dropped), %d anomalies, %d warnings\n",
-				msgs, st.Malformed, st.Dropped, anoms, len(mon.Warnings()))
+			fmt.Printf("\nshutting down: %d messages (%d malformed, %d dropped, %d sink panics), %d anomalies, %d warnings, %d hosts evicted\n",
+				mst.Messages, st.Malformed, st.Dropped, st.SinkPanics, mst.Anomalies, mst.Warnings, mst.EvictedHosts)
 			return nil
-		case <-ticker.C:
-			msgs, anoms := mon.Counters()
-			fmt.Printf("status: messages=%d anomalies=%d warnings=%d\n", msgs, anoms, len(mon.Warnings()))
+		case <-hup:
+			if model == "" {
+				fmt.Println("SIGHUP ignored: no -model bundle to reload")
+				continue
+			}
+			b, lerr := bundle.LoadFile(model)
+			if lerr != nil {
+				fmt.Fprintf(os.Stderr, "nfvmonitor: hot-reload rejected, keeping serving bundle: %v\n", lerr)
+				continue
+			}
+			mon.SwapModel(b.Tree, b.DetectorFor, b.Threshold)
+			fmt.Printf("hot-reloaded bundle %s: %d detectors, %d templates, threshold %.3f\n",
+				model, len(b.Detectors), b.Tree.Len(), b.Threshold)
+			saveCheckpoint("post-reload")
+		case <-ckptTick:
+			saveCheckpoint("interval")
+		case <-status.C:
+			mst := mon.Stats()
+			fmt.Printf("status: messages=%d anomalies=%d warnings=%d hosts=%d\n",
+				mst.Messages, mst.Anomalies, mst.Warnings, mst.ActiveHosts)
 		}
 	}
 }

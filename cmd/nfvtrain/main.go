@@ -141,12 +141,9 @@ func run(tracePath, ticketsPath, out, startStr string, months, kMax int) error {
 		fmt.Printf("operating threshold %.3f (99.9th percentile of training scores)\n", b.Threshold)
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := b.Save(f); err != nil {
+	// Atomic save: a crash mid-write must never leave a truncated bundle
+	// where a monitor's hot-reload would pick it up.
+	if err := b.SaveFile(out); err != nil {
 		return err
 	}
 	fmt.Printf("wrote bundle to %s\n", out)

@@ -1,0 +1,55 @@
+// Package atomicfile writes files atomically: the content goes to a
+// temporary file in the destination directory, is fsynced, and is renamed
+// over the target only when every byte is durably on disk. A crash — or an
+// injected fault — at any point leaves either the old file or the new one,
+// never a torn mixture, which is the property the runtime's checkpoint and
+// bundle writers depend on.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with the bytes produced by fn. fn receives
+// the temporary file as its writer; any error from fn (or from sync/rename)
+// aborts the operation, removes the temporary file, and leaves an existing
+// path untouched.
+func Write(path string, fn func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: creating temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = fn(tmp); err != nil {
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: closing temp file: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicfile: renaming into place: %w", err)
+	}
+	// Persist the rename itself. Directory fsync is best-effort: some
+	// filesystems refuse to sync directories, and the rename already
+	// guarantees atomicity — only durability of the name is at stake.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -3,6 +3,15 @@
 // into a single file, closing the offline→online loop: cmd/nfvtrain
 // produces a bundle from a recorded trace and cmd/nfvmonitor serves it
 // against live syslog.
+//
+// The on-disk format is framed for operational safety: a magic header and
+// format version, a gob payload, and a CRC32 trailer. A truncated or
+// bit-flipped file is rejected with a descriptive error before any of its
+// contents are trusted, and Load additionally cross-validates the payload
+// (cluster indices in range, sane threshold) so a structurally corrupt
+// bundle cannot silently mis-route hosts at serve time. SaveFile writes
+// atomically (temp file + fsync + rename), so a crash mid-save never
+// leaves a half-written bundle where the monitor expects a good one.
 package bundle
 
 import (
@@ -10,9 +19,22 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
+	"os"
 
+	"nfvpredict/internal/atomicfile"
 	"nfvpredict/internal/detect"
 	"nfvpredict/internal/sigtree"
+	"nfvpredict/internal/wireframe"
+)
+
+// Format framing constants. Version is bumped whenever the payload layout
+// changes incompatibly; Load rejects versions it does not understand.
+const (
+	// Magic identifies a framed bundle file.
+	Magic = "NFVB"
+	// Version is the current format version.
+	Version uint32 = 2
 )
 
 // Bundle is a deployable trained system.
@@ -41,6 +63,33 @@ func (b *Bundle) DetectorFor(host string) *detect.LSTMDetector {
 	return b.Detectors[ci]
 }
 
+// Validate cross-checks the bundle's components: the pieces a monitor is
+// about to trust must be mutually consistent. It is called by both Save
+// (don't ship garbage) and Load (don't serve garbage).
+func (b *Bundle) Validate() error {
+	if b.Tree == nil {
+		return fmt.Errorf("bundle: missing signature tree")
+	}
+	if len(b.Detectors) == 0 {
+		return fmt.Errorf("bundle: no detectors")
+	}
+	for i, d := range b.Detectors {
+		if d == nil {
+			return fmt.Errorf("bundle: detector %d is nil", i)
+		}
+	}
+	for host, ci := range b.Assign {
+		if ci < 0 || ci >= len(b.Detectors) {
+			return fmt.Errorf("bundle: host %q assigned to cluster %d, valid range [0,%d)",
+				host, ci, len(b.Detectors))
+		}
+	}
+	if b.Threshold < 0 || math.IsNaN(b.Threshold) {
+		return fmt.Errorf("bundle: invalid threshold %v (must be >= 0)", b.Threshold)
+	}
+	return nil
+}
+
 // wire is the gob form: nested gob blobs keep the component formats
 // independent of the bundle layout.
 type wire struct {
@@ -50,10 +99,11 @@ type wire struct {
 	Threshold float64
 }
 
-// Save serializes the bundle to w.
+// Save serializes the bundle to w in the framed format: magic, version,
+// payload length, gob payload, CRC32 (IEEE) of the payload.
 func (b *Bundle) Save(w io.Writer) error {
-	if b.Tree == nil || len(b.Detectors) == 0 {
-		return fmt.Errorf("bundle: tree and at least one detector required")
+	if err := b.Validate(); err != nil {
+		return err
 	}
 	var wf wire
 	var buf bytes.Buffer
@@ -70,16 +120,37 @@ func (b *Bundle) Save(w io.Writer) error {
 	}
 	wf.Assign = b.Assign
 	wf.Threshold = b.Threshold
-	if err := gob.NewEncoder(w).Encode(&wf); err != nil {
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&wf); err != nil {
 		return fmt.Errorf("bundle: encoding: %w", err)
+	}
+	if err := wireframe.Encode(w, Magic, Version, payload.Bytes()); err != nil {
+		return fmt.Errorf("bundle: %w", err)
 	}
 	return nil
 }
 
-// Load reconstructs a bundle saved with Save.
+// Load reconstructs and validates a bundle saved with Save. Unframed input
+// (a pre-versioning bundle, which starts with a gob header rather than the
+// magic) is accepted for compatibility; framed input with a bad magic,
+// unknown version, short payload, or checksum mismatch is rejected with an
+// error naming the failure.
 func Load(r io.Reader) (*Bundle, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: reading: %w", err)
+	}
+	payload, framed, err := wireframe.Decode(data, Magic, Version)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+	if !framed {
+		// Pre-versioning bundles are raw gob with no frame.
+		payload = data
+	}
 	var wf wire
-	if err := gob.NewDecoder(r).Decode(&wf); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wf); err != nil {
 		return nil, fmt.Errorf("bundle: decoding: %w", err)
 	}
 	tree, err := sigtree.Load(bytes.NewReader(wf.Tree))
@@ -94,8 +165,24 @@ func Load(r io.Reader) (*Bundle, error) {
 		}
 		b.Detectors = append(b.Detectors, d)
 	}
-	if len(b.Detectors) == 0 {
-		return nil, fmt.Errorf("bundle: no detectors")
+	if err := b.Validate(); err != nil {
+		return nil, err
 	}
 	return b, nil
+}
+
+// SaveFile writes the bundle to path atomically: a crash at any point
+// leaves either the previous file or the complete new one.
+func (b *Bundle) SaveFile(path string) error {
+	return atomicfile.Write(path, b.Save)
+}
+
+// LoadFile loads and validates the bundle at path.
+func LoadFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
 }

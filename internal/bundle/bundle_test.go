@@ -2,12 +2,16 @@ package bundle
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"nfvpredict/internal/detect"
+	"nfvpredict/internal/faultinject"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/sigtree"
 )
@@ -98,5 +102,172 @@ func TestSaveValidation(t *testing.T) {
 func TestLoadCorrupt(t *testing.T) {
 	if _, err := Load(strings.NewReader("garbage")); err == nil {
 		t.Fatal("corrupt input should fail")
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	b := trainedBundle(t)
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut at several depths: inside the header, inside the payload, and
+	// inside the checksum trailer. All must be rejected with an error.
+	for _, cut := range []int{3, 10, len(full) / 2, len(full) - 2} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes not detected", cut, len(full))
+		}
+	}
+}
+
+func TestLoadBitFlip(t *testing.T) {
+	b := trainedBundle(t)
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	headerLen := len(Magic) + 4 + 8
+	// Flip single bits at several payload offsets; the CRC must catch each.
+	for _, byteOff := range []int{headerLen, headerLen + 100, len(full) - 8} {
+		corrupt := append([]byte(nil), full...)
+		faultinject.FlipBit(corrupt, byteOff*8+3)
+		_, err := Load(bytes.NewReader(corrupt))
+		if err == nil {
+			t.Fatalf("bit flip at byte %d not detected", byteOff)
+		}
+		if !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("bit flip at byte %d: want checksum error, got: %v", byteOff, err)
+		}
+	}
+}
+
+func TestLoadBadVersion(t *testing.T) {
+	b := trainedBundle(t)
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	full[4] = 99 // version field
+	if _, err := Load(bytes.NewReader(full)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown version must be named in the error, got: %v", err)
+	}
+}
+
+func TestValidateRejectsBadAssign(t *testing.T) {
+	b := trainedBundle(t)
+	b.Assign["vpe-evil"] = 7 // only 1 detector
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err == nil {
+		t.Fatal("out-of-range cluster index must not save")
+	}
+	delete(b.Assign, "vpe-evil")
+	b.Assign["vpe-neg"] = -1
+	if err := b.Save(&buf); err == nil {
+		t.Fatal("negative cluster index must not save")
+	}
+}
+
+func TestValidateRejectsNegativeThreshold(t *testing.T) {
+	b := trainedBundle(t)
+	b.Threshold = -3
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err == nil || !strings.Contains(err.Error(), "threshold") {
+		t.Fatalf("negative threshold must be rejected by name, got: %v", err)
+	}
+}
+
+// TestLoadRejectsBadAssignInPayload corrupts the payload the way a buggy
+// trainer would (bad index, valid checksum): Load must reject it at load
+// time rather than serving cluster-0 fallbacks silently.
+func TestLoadRejectsBadAssignInPayload(t *testing.T) {
+	b := trainedBundle(t)
+	b.Assign["vpe-evil"] = 7
+	// Bypass Save's validation by writing the legacy (unframed) payload.
+	var wf wire
+	var tb bytes.Buffer
+	if err := b.Tree.Save(&tb); err != nil {
+		t.Fatal(err)
+	}
+	wf.Tree = tb.Bytes()
+	var db bytes.Buffer
+	if err := b.Detectors[0].Save(&db); err != nil {
+		t.Fatal(err)
+	}
+	wf.Detectors = [][]byte{db.Bytes()}
+	wf.Assign = b.Assign
+	wf.Threshold = b.Threshold
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "cluster") {
+		t.Fatalf("bad assign index in payload must fail load, got: %v", err)
+	}
+}
+
+// TestLoadLegacyUnframed ensures pre-versioning bundles (raw gob, no magic
+// header) still load.
+func TestLoadLegacyUnframed(t *testing.T) {
+	b := trainedBundle(t)
+	var wf wire
+	var tb bytes.Buffer
+	if err := b.Tree.Save(&tb); err != nil {
+		t.Fatal(err)
+	}
+	wf.Tree = tb.Bytes()
+	var db bytes.Buffer
+	if err := b.Detectors[0].Save(&db); err != nil {
+		t.Fatal(err)
+	}
+	wf.Detectors = [][]byte{db.Bytes()}
+	wf.Assign = b.Assign
+	wf.Threshold = b.Threshold
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Threshold != b.Threshold || loaded.Tree.Len() != b.Tree.Len() {
+		t.Fatalf("legacy load mismatch: %+v", loaded)
+	}
+}
+
+func TestSaveFileAtomicAndLoadFile(t *testing.T) {
+	b := trainedBundle(t)
+	path := filepath.Join(t.TempDir(), "model.bundle")
+	if err := b.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Threshold != b.Threshold {
+		t.Fatalf("threshold: %v", loaded.Threshold)
+	}
+	// Corrupt the file on disk; LoadFile must reject it and a re-save must
+	// restore it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.FlipBit(raw, (len(raw)/2)*8)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("corrupt on-disk bundle must not load")
+	}
+	if err := b.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
 	}
 }

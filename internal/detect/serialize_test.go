@@ -90,3 +90,55 @@ func TestStreamOnUntrainedDetector(t *testing.T) {
 		t.Fatal("untrained detector must return nil stream")
 	}
 }
+
+// TestStreamSnapshotRoundTrip proves that a stream restored from a snapshot
+// continues scoring bit-identically to the uninterrupted original — the
+// property the monitor's kill-and-restore checkpoint depends on.
+func TestStreamSnapshotRoundTrip(t *testing.T) {
+	d := NewLSTMDetector(smallLSTMConfig())
+	if err := d.Train([][]features.Event{cyclicStream(400, 4, time.Minute)}); err != nil {
+		t.Fatal(err)
+	}
+	full := d.NewStream()
+	events := withAnomaly(cyclicStream(60, 4, time.Minute), 30, 33, 99)
+	cut := 25
+	for _, e := range events[:cut] {
+		full.Push(e)
+	}
+	snap := full.Snapshot()
+	restored, err := d.RestoreStream(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events[cut:] {
+		a := full.Push(e)
+		b := restored.Push(e)
+		if a != b {
+			t.Fatalf("restored stream diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestRestoreStreamShapeMismatch checks that a snapshot from one
+// architecture is rejected against another instead of scoring garbage.
+func TestRestoreStreamShapeMismatch(t *testing.T) {
+	d := NewLSTMDetector(smallLSTMConfig())
+	if err := d.Train([][]features.Event{cyclicStream(300, 4, time.Minute)}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallLSTMConfig()
+	cfg.Hidden = []int{8, 8}
+	other := NewLSTMDetector(cfg)
+	if err := other.Train([][]features.Event{cyclicStream(300, 4, time.Minute)}); err != nil {
+		t.Fatal(err)
+	}
+	st := d.NewStream()
+	st.Push(features.Event{Time: time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC), Template: 0})
+	if _, err := other.RestoreStream(st.Snapshot()); err == nil {
+		t.Fatal("shape-mismatched snapshot must be rejected")
+	}
+	// Untrained detectors reject restores outright.
+	if _, err := NewLSTMDetector(smallLSTMConfig()).RestoreStream(st.Snapshot()); err == nil {
+		t.Fatal("untrained detector must reject restore")
+	}
+}

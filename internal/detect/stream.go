@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"fmt"
 	"time"
 
 	"nfvpredict/internal/features"
@@ -31,6 +32,48 @@ func (d *LSTMDetector) NewStream() *LSTMStream {
 		return nil
 	}
 	return &LSTMStream{det: d, st: d.model.NewStreamState()}
+}
+
+// StreamSnapshot is the exported state of an LSTMStream: the model's
+// recurrent state plus the streaming bookkeeping (pending token, last
+// timestamp). It is plain data so the ingest layer can checkpoint per-vPE
+// scoring state and restore it bit-identically after a restart.
+type StreamSnapshot struct {
+	Model   nn.StreamSnapshot
+	Last    time.Time
+	Started bool
+	Pending nn.Token
+}
+
+// Snapshot copies the stream's state out.
+func (s *LSTMStream) Snapshot() StreamSnapshot {
+	return StreamSnapshot{
+		Model:   s.st.Snapshot(),
+		Last:    s.last,
+		Started: s.started,
+		Pending: s.pending,
+	}
+}
+
+// RestoreStream rebuilds an online scorer from a snapshot taken against
+// this detector's model architecture. Restoring against a model of a
+// different shape (a retrained bundle with other layer widths) fails with
+// a descriptive error; callers should fall back to a fresh stream.
+func (d *LSTMDetector) RestoreStream(snap StreamSnapshot) (*LSTMStream, error) {
+	if d.model == nil {
+		return nil, fmt.Errorf("detect: cannot restore a stream on an untrained detector")
+	}
+	st, err := d.model.RestoreStreamState(snap.Model)
+	if err != nil {
+		return nil, fmt.Errorf("detect: restoring stream state: %w", err)
+	}
+	return &LSTMStream{
+		det:     d,
+		st:      st,
+		last:    snap.Last,
+		started: snap.Started,
+		pending: snap.Pending,
+	}, nil
 }
 
 // Push scores one event and advances the stream. The first event has no

@@ -1,0 +1,237 @@
+// Package faultinject provides deterministic fault-injection wrappers for
+// io.Reader, io.Writer, and net.Conn, used by robustness tests to prove the
+// runtime survives torn writes, truncated reads, bit-flipped files, and
+// mid-frame disconnects. Every failure schedule is deterministic — either an
+// explicit list of failing operations/byte offsets or a seeded PRNG — so a
+// failing test reproduces exactly.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// ErrInjected is the error returned by injected faults unless the plan
+// overrides it.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Plan is a deterministic failure schedule shared by one or more wrappers.
+// The zero value never fails; configure it with the With/Fail options. A
+// Plan is safe for concurrent use, and its operation/byte counters are
+// global across all wrappers sharing it.
+type Plan struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	prob      float64
+	failOps   map[int]struct{}
+	byteLimit int64 // fail once this many bytes have passed; <0 disables
+	err       error
+
+	op       int
+	bytes    int64
+	injected int
+}
+
+// Option configures a Plan.
+type Option func(*Plan)
+
+// WithSeededFailures makes each operation fail independently with
+// probability prob, driven by a PRNG seeded with seed (deterministic for a
+// fixed seed and call sequence).
+func WithSeededFailures(seed int64, prob float64) Option {
+	return func(p *Plan) {
+		p.rng = rand.New(rand.NewSource(seed))
+		p.prob = prob
+	}
+}
+
+// FailAtOps fails the given zero-based operation indices (Read/Write calls
+// counted together across all wrappers sharing the plan).
+func FailAtOps(ops ...int) Option {
+	return func(p *Plan) {
+		if p.failOps == nil {
+			p.failOps = make(map[int]struct{}, len(ops))
+		}
+		for _, o := range ops {
+			p.failOps[o] = struct{}{}
+		}
+	}
+}
+
+// FailAfterBytes lets n bytes through in total, then fails every subsequent
+// operation; the failing operation transfers the remaining budget first, so
+// a write fault produces a torn (partial) write rather than a clean cut at
+// an operation boundary.
+func FailAfterBytes(n int64) Option {
+	return func(p *Plan) { p.byteLimit = n }
+}
+
+// WithError replaces ErrInjected as the injected error.
+func WithError(err error) Option {
+	return func(p *Plan) { p.err = err }
+}
+
+// NewPlan builds a failure schedule from the options.
+func NewPlan(opts ...Option) *Plan {
+	p := &Plan{byteLimit: -1}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Injected returns how many faults the plan has injected so far.
+func (p *Plan) Injected() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// admit decides the fate of one operation wanting to transfer n bytes: it
+// returns how many bytes may proceed and the injected error, if any. The
+// byte counter advances by the admitted amount.
+func (p *Plan) admit(n int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	op := p.op
+	p.op++
+	fail := false
+	if _, ok := p.failOps[op]; ok {
+		fail = true
+	}
+	if !fail && p.rng != nil && p.rng.Float64() < p.prob {
+		fail = true
+	}
+	allowed := n
+	if fail {
+		// Operation faults consume nothing; only byte-budget faults admit
+		// a partial prefix (the torn-write case below).
+		allowed = 0
+	}
+	if p.byteLimit >= 0 {
+		if remain := p.byteLimit - p.bytes; int64(allowed) > remain {
+			if remain < 0 {
+				remain = 0
+			}
+			allowed = int(remain)
+			fail = true
+		}
+	}
+	p.bytes += int64(allowed)
+	if !fail {
+		return allowed, nil
+	}
+	p.injected++
+	err := p.err
+	if err == nil {
+		err = ErrInjected
+	}
+	return allowed, err
+}
+
+// Reader wraps an io.Reader with a failure plan. A faulted Read may return
+// a partial count alongside the error (as io.Reader permits).
+type Reader struct {
+	R    io.Reader
+	Plan *Plan
+}
+
+// NewReader wraps r with plan.
+func NewReader(r io.Reader, plan *Plan) *Reader { return &Reader{R: r, Plan: plan} }
+
+func (r *Reader) Read(b []byte) (int, error) {
+	allowed, ferr := r.Plan.admit(len(b))
+	var n int
+	var err error
+	if allowed > 0 {
+		n, err = r.R.Read(b[:allowed])
+	}
+	if err == nil && ferr != nil {
+		err = ferr
+	}
+	return n, err
+}
+
+// Writer wraps an io.Writer with a failure plan. A byte-budget fault writes
+// the admitted prefix through before failing — a torn write.
+type Writer struct {
+	W    io.Writer
+	Plan *Plan
+}
+
+// NewWriter wraps w with plan.
+func NewWriter(w io.Writer, plan *Plan) *Writer { return &Writer{W: w, Plan: plan} }
+
+func (w *Writer) Write(b []byte) (int, error) {
+	allowed, ferr := w.Plan.admit(len(b))
+	n := 0
+	var err error
+	if allowed > 0 {
+		n, err = w.W.Write(b[:allowed])
+	}
+	if err == nil && ferr != nil {
+		err = ferr
+	}
+	if err == nil && n < len(b) {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
+
+// Conn wraps a net.Conn with independent read and write plans; either may
+// be nil for a pass-through direction. When CloseOnFault is set, an
+// injected fault also closes the underlying connection — simulating a peer
+// that dies mid-frame rather than one that reports an error and lingers.
+type Conn struct {
+	net.Conn
+	ReadPlan, WritePlan *Plan
+	CloseOnFault        bool
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if c.ReadPlan == nil {
+		return c.Conn.Read(b)
+	}
+	allowed, ferr := c.ReadPlan.admit(len(b))
+	var n int
+	var err error
+	if allowed > 0 {
+		n, err = c.Conn.Read(b[:allowed])
+	}
+	if err == nil && ferr != nil {
+		err = ferr
+		if c.CloseOnFault {
+			c.Conn.Close()
+		}
+	}
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.WritePlan == nil {
+		return c.Conn.Write(b)
+	}
+	allowed, ferr := c.WritePlan.admit(len(b))
+	var n int
+	var err error
+	if allowed > 0 {
+		n, err = c.Conn.Write(b[:allowed])
+	}
+	if err == nil && ferr != nil {
+		err = ferr
+		if c.CloseOnFault {
+			c.Conn.Close()
+		}
+	}
+	return n, err
+}
+
+// FlipBit flips one bit in b (bit counted LSB-first from the start), the
+// canonical corruption for checksum tests. It panics when bit is out of
+// range, matching slice-index semantics.
+func FlipBit(b []byte, bit int) {
+	b[bit/8] ^= 1 << (bit % 8)
+}

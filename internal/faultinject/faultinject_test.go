@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFailAtOps(t *testing.T) {
+	p := NewPlan(FailAtOps(1))
+	r := NewReader(strings.NewReader("abcdef"), p)
+	buf := make([]byte, 3)
+	if n, err := r.Read(buf); err != nil || n != 3 {
+		t.Fatalf("op 0 should pass: n=%d err=%v", n, err)
+	}
+	if _, err := r.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 1 should fail, got %v", err)
+	}
+	if n, err := r.Read(buf); err != nil || n != 3 {
+		t.Fatalf("op 2 should pass: n=%d err=%v", n, err)
+	}
+	if p.Injected() != 1 {
+		t.Fatalf("injected count: %d", p.Injected())
+	}
+}
+
+func TestFailAfterBytesTornWrite(t *testing.T) {
+	var sink bytes.Buffer
+	p := NewPlan(FailAfterBytes(5))
+	w := NewWriter(&sink, p)
+	n, err := w.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+	if n != 5 || sink.String() != "01234" {
+		t.Fatalf("torn write should deliver exactly the budget: n=%d wrote %q", n, sink.String())
+	}
+	// Every subsequent write fails with nothing admitted.
+	if n, err := w.Write([]byte("x")); n != 0 || err == nil {
+		t.Fatalf("post-budget write: n=%d err=%v", n, err)
+	}
+}
+
+func TestSeededFailuresDeterministic(t *testing.T) {
+	run := func() []int {
+		p := NewPlan(WithSeededFailures(42, 0.3))
+		r := NewReader(strings.NewReader(strings.Repeat("a", 1000)), p)
+		var failed []int
+		buf := make([]byte, 10)
+		for i := 0; i < 50; i++ {
+			if _, err := r.Read(buf); err != nil {
+				failed = append(failed, i)
+			}
+		}
+		return failed
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("prob 0.3 over 50 ops should inject at least one fault")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic schedule: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic schedule: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestWithError(t *testing.T) {
+	custom := errors.New("boom")
+	p := NewPlan(FailAtOps(0), WithError(custom))
+	r := NewReader(strings.NewReader("abc"), p)
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, custom) {
+		t.Fatalf("custom error not propagated: %v", err)
+	}
+}
+
+func TestReaderPartialThenFail(t *testing.T) {
+	// Byte budget mid-read: the admitted prefix is returned with the error
+	// arriving on the next call (allowed==0 path).
+	p := NewPlan(FailAfterBytes(4))
+	r := NewReader(strings.NewReader("abcdefgh"), p)
+	buf := make([]byte, 8)
+	n, err := r.Read(buf)
+	if n != 4 {
+		t.Fatalf("expected 4 bytes admitted, got %d (err=%v)", n, err)
+	}
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("reads past the budget must fail")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	b := []byte{0x00, 0xFF}
+	FlipBit(b, 0)
+	FlipBit(b, 15)
+	if b[0] != 0x01 || b[1] != 0x7F {
+		t.Fatalf("flip: %x", b)
+	}
+	FlipBit(b, 0)
+	FlipBit(b, 15)
+	if b[0] != 0x00 || b[1] != 0xFF {
+		t.Fatalf("double flip must restore: %x", b)
+	}
+}

@@ -1,0 +1,156 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nfvpredict/internal/atomicfile"
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/sigtree"
+	"nfvpredict/internal/wireframe"
+)
+
+// Checkpoint framing constants (see internal/wireframe for the layout).
+const (
+	// CheckpointMagic identifies a monitor checkpoint file.
+	CheckpointMagic = "NFVC"
+	// CheckpointVersion is the current checkpoint format version.
+	CheckpointVersion uint32 = 1
+)
+
+// hostWire is one host's checkpointed state: the LSTM stream snapshot and
+// the in-progress anomaly cluster.
+type hostWire struct {
+	Host        string
+	Stream      detect.StreamSnapshot
+	HasCluster  bool
+	First, Last time.Time
+	Size        int
+	Reported    bool
+}
+
+// checkpointWire is the gob payload of a checkpoint. Hosts are stored in
+// LRU order, least recently seen first, so a restored monitor evicts in
+// exactly the order the original would have — a requirement for the
+// kill-and-restore bit-identity guarantee.
+type checkpointWire struct {
+	Tree     []byte
+	Hosts    []hostWire
+	Warnings []detect.Warning
+	Messages uint64
+	Anoms    uint64
+	Evicted  uint64
+	Swaps    uint64
+	SavedAt  time.Time
+}
+
+// Checkpoint snapshots the monitor's full online state — the grown
+// signature tree, every host's recurrent scoring stream, in-progress
+// anomaly clusters, warning history, and counters — so a restarted monitor
+// resumes scoring mid-stream instead of cold. The snapshot is taken under
+// the monitor lock (a consistent cut); encoding happens outside it.
+func (m *Monitor) Checkpoint(w io.Writer) error {
+	var wf checkpointWire
+	m.mu.Lock()
+	var tb bytes.Buffer
+	if err := m.tree.Save(&tb); err != nil {
+		m.mu.Unlock()
+		return fmt.Errorf("checkpoint: saving tree: %w", err)
+	}
+	wf.Tree = tb.Bytes()
+	for el := m.lru.Back(); el != nil; el = el.Prev() {
+		hs := el.Value.(*hostState)
+		hw := hostWire{Host: hs.host, Stream: hs.stream.Snapshot()}
+		if cs := hs.cluster; cs != nil {
+			hw.HasCluster = true
+			hw.First, hw.Last = cs.first, cs.last
+			hw.Size, hw.Reported = cs.size, cs.reported
+		}
+		wf.Hosts = append(wf.Hosts, hw)
+	}
+	wf.Warnings = append([]detect.Warning(nil), m.warnings...)
+	wf.Messages, wf.Anoms = m.messages, m.anoms
+	wf.Evicted, wf.Swaps = m.evicted, m.swaps
+	m.mu.Unlock()
+
+	wf.SavedAt = time.Now()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&wf); err != nil {
+		return fmt.Errorf("checkpoint: encoding: %w", err)
+	}
+	if err := wireframe.Encode(w, CheckpointMagic, CheckpointVersion, payload.Bytes()); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// RestoreMonitor rebuilds a monitor from a checkpoint written by
+// Checkpoint. The detector resolver and callbacks are not part of the
+// snapshot and must be supplied again; hosts whose detector has a different
+// architecture than at checkpoint time produce a descriptive error (the
+// caller should fall back to a cold start — typically after a model swap).
+// Hosts whose resolver now returns nil are dropped silently, matching what
+// HandleMessage would do with their next message.
+func RestoreMonitor(r io.Reader, cfg MonitorConfig, resolve func(host string) *detect.LSTMDetector, onWarning func(detect.Warning)) (*Monitor, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading: %w", err)
+	}
+	payload, framed, err := wireframe.Decode(data, CheckpointMagic, CheckpointVersion)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if !framed {
+		return nil, fmt.Errorf("checkpoint: not a checkpoint file (missing %q magic)", CheckpointMagic)
+	}
+	var wf checkpointWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wf); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding: %w", err)
+	}
+	tree, err := sigtree.Load(bytes.NewReader(wf.Tree))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: loading tree: %w", err)
+	}
+	m := NewMonitorWithResolver(cfg, tree, resolve, onWarning)
+	// Hosts arrive least recent first; PushFront in order rebuilds the LRU.
+	for _, hw := range wf.Hosts {
+		det := resolve(hw.Host)
+		if det == nil {
+			continue
+		}
+		st, err := det.RestoreStream(hw.Stream)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: host %q: %w", hw.Host, err)
+		}
+		hs := &hostState{host: hw.Host, stream: st}
+		if hw.HasCluster {
+			hs.cluster = &clusterState{first: hw.First, last: hw.Last, size: hw.Size, reported: hw.Reported}
+		}
+		m.hosts[hw.Host] = m.lru.PushFront(hs)
+	}
+	m.warnings = wf.Warnings
+	m.messages, m.anoms = wf.Messages, wf.Anoms
+	m.evicted, m.swaps = wf.Evicted, wf.Swaps
+	return m, nil
+}
+
+// CheckpointFile writes the checkpoint to path atomically (temp file +
+// fsync + rename): a crash mid-checkpoint leaves the previous checkpoint
+// intact, never a torn file.
+func (m *Monitor) CheckpointFile(path string) error {
+	return atomicfile.Write(path, m.Checkpoint)
+}
+
+// RestoreMonitorFile restores a monitor from the checkpoint at path.
+func RestoreMonitorFile(path string, cfg MonitorConfig, resolve func(host string) *detect.LSTMDetector, onWarning func(detect.Warning)) (*Monitor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return RestoreMonitor(f, cfg, resolve, onWarning)
+}

@@ -1,14 +1,18 @@
 package ingest
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"nfvpredict/internal/detect"
+	"nfvpredict/internal/faultinject"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/logfmt"
 	"nfvpredict/internal/sigtree"
@@ -427,4 +431,223 @@ func TestTCPMixedFramingOnOneConnection(t *testing.T) {
 	fmt.Fprintf(conn, "%d %s", len(b), b)
 	col.waitFor(t, 3)
 	_ = srv
+}
+
+// TestSinkPanicRecovered proves panic isolation: a sink that panics on a
+// poison message loses that message only; ingestion continues and the panic
+// is counted.
+func TestSinkPanicRecovered(t *testing.T) {
+	col := &collector{}
+	sink := func(m logfmt.Message) {
+		if strings.Contains(m.Text, "poison") {
+			panic("sink exploded")
+		}
+		col.sink(m)
+	}
+	srv, err := NewServer(DefaultServerConfig(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(context.Background())
+	t.Cleanup(srv.Close)
+
+	conn, err := net.Dial("udp", srv.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	poison := logfmt.Message{
+		Time: time.Date(2018, 2, 3, 4, 5, 6, 0, time.UTC),
+		Host: "vpe01", Facility: logfmt.FacDaemon, Severity: logfmt.Warning,
+		Tag: "rpd", Text: "poison message that kills the sink",
+	}
+	fmt.Fprint(conn, sampleLine(0))
+	fmt.Fprint(conn, poison.Format3164())
+	fmt.Fprint(conn, sampleLine(1))
+	col.waitFor(t, 2)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && srv.Stats().SinkPanics == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := srv.Stats()
+	if st.SinkPanics != 1 {
+		t.Fatalf("sink panics: %+v", st)
+	}
+	if st.Received != 3 {
+		t.Fatalf("server must keep receiving after a panic: %+v", st)
+	}
+}
+
+// TestUDPOversizedDatagram sends a datagram larger than the reader buffer
+// can hold; it must be counted (as malformed once truncated parsing fails)
+// without wedging the reader.
+func TestUDPOversizedDatagram(t *testing.T) {
+	srv, col := startServer(t)
+	conn, err := net.Dial("udp", srv.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// ~65k of junk: at the UDP payload ceiling. Depending on the platform
+	// the send may fail locally; either way the server must stay alive.
+	junk := bytes.Repeat([]byte("x"), 65000)
+	_, _ = conn.Write(junk)
+	fmt.Fprint(conn, sampleLine(5))
+	col.waitFor(t, 1)
+	if st := srv.Stats(); st.Received != 1 {
+		t.Fatalf("stats after oversized datagram: %+v", st)
+	}
+}
+
+// TestTCPEmptyAndMalformedOctetFrames covers the frame-length edge cases:
+// "0 " (empty frame), leading-zero lengths, and junk after digits. Each is
+// malformed but must not kill the connection — later well-formed frames on
+// the same connection still arrive.
+func TestTCPEmptyAndMalformedOctetFrames(t *testing.T) {
+	srv, col := startServer(t)
+	conn, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Malformed: empty octet frame. Resyncs at the next LF.
+	fmt.Fprint(conn, "0 \n")
+	// Malformed: leading-zero length. Resyncs at the next LF.
+	fmt.Fprint(conn, "007 bond\n")
+	// Malformed: absurdly long digit run. Resyncs at the next LF.
+	fmt.Fprintf(conn, "%s\n", strings.Repeat("9", 40))
+	// Well-formed frame on the same connection: must still be delivered.
+	line := sampleLine(9)
+	fmt.Fprintf(conn, "%d %s", len(line), line)
+	col.waitFor(t, 1)
+	st := srv.Stats()
+	if st.Malformed < 3 {
+		t.Fatalf("expected >=3 malformed frames, got %+v", st)
+	}
+	if st.Received != 1 {
+		t.Fatalf("resync failed, good frame lost: %+v", st)
+	}
+}
+
+// TestTCPOversizeOctetFrameResync: a parseable but oversize length skips
+// exactly that many bytes and the connection keeps working.
+func TestTCPOversizeOctetFrameResync(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.MaxLine = 128
+	col := &collector{}
+	srv, err := NewServer(cfg, col.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(context.Background())
+	t.Cleanup(srv.Close)
+	conn, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 300 > MaxLine: the server must discard exactly 300 bytes then resume.
+	fmt.Fprintf(conn, "300 %s", strings.Repeat("j", 300))
+	line := sampleLine(3)
+	fmt.Fprintf(conn, "%d %s", len(line), line)
+	col.waitFor(t, 1)
+	if st := srv.Stats(); st.Malformed != 1 || st.Received != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestQueueOverflowDropAccounting blocks the sink, floods the queue past
+// capacity, and checks every excess message is counted as dropped.
+func TestQueueOverflowDropAccounting(t *testing.T) {
+	release := make(chan struct{})
+	var delivered atomic.Uint64
+	cfg := DefaultServerConfig()
+	cfg.QueueSize = 8
+	srv, err := NewServer(cfg, func(logfmt.Message) {
+		<-release
+		delivered.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(context.Background())
+	defer srv.Close()
+	conn, err := net.Dial("udp", srv.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const total = 200
+	for i := 0; i < total; i++ {
+		fmt.Fprint(conn, sampleLine(i))
+	}
+	// Wait until the accounting has seen every datagram.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := srv.Stats()
+		if st.Received+st.Dropped+st.Malformed == total {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := srv.Stats()
+	if st.Received+st.Dropped != total || st.Dropped == 0 {
+		t.Fatalf("drop accounting: %+v (want received+dropped=%d with drops)", st, total)
+	}
+	close(release)
+	srv.Close()
+	if got := delivered.Load(); got != st.Received {
+		t.Fatalf("delivered %d, received %d: drained messages lost", got, st.Received)
+	}
+}
+
+// TestCloseDuringInFlightTCPFrame opens a frame, sends only part of it, and
+// closes the server: Close must interrupt the blocked handler rather than
+// deadlock.
+func TestCloseDuringInFlightTCPFrame(t *testing.T) {
+	srv, _ := startServer(t)
+	conn, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Promise 100 bytes, deliver 10, then go silent.
+	fmt.Fprint(conn, "100 0123456789")
+	time.Sleep(50 * time.Millisecond) // let serveTCP block in ReadFull
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked on an in-flight TCP frame")
+	}
+}
+
+// TestTCPPeerDiesMidFrame uses the fault-injection conn: the peer's write
+// side fails (and closes) partway through a frame. The server must count
+// nothing received for the torn frame and keep accepting other peers.
+func TestTCPPeerDiesMidFrame(t *testing.T) {
+	srv, col := startServer(t)
+	raw, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := sampleLine(0)
+	frame := fmt.Sprintf("%d %s", len(line), line)
+	plan := faultinject.NewPlan(faultinject.FailAfterBytes(int64(len(frame) / 2)))
+	fc := &faultinject.Conn{Conn: raw, WritePlan: plan, CloseOnFault: true}
+	if _, err := fc.Write([]byte(frame)); err == nil {
+		t.Fatal("expected injected write fault")
+	}
+	// A second, healthy peer still gets through.
+	conn2, err := net.Dial("tcp", srv.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	fmt.Fprintf(conn2, "%s\n", sampleLine(1))
+	col.waitFor(t, 1)
+	if st := srv.Stats(); st.Received != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
 }

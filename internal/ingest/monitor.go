@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"container/list"
 	"sync"
 	"time"
 
@@ -19,7 +20,19 @@ type MonitorConfig struct {
 	// (≥2 anomalies within a minute → warning signature).
 	ClusterWindow  time.Duration
 	MinClusterSize int
+	// MaxHosts caps the number of per-host states (LSTM stream + anomaly
+	// cluster) held in memory; 0 means DefaultMaxHosts. When the cap is
+	// reached the least-recently-seen host is evicted, so a sender spoofing
+	// hostnames can cost at most MaxHosts streams of memory, never
+	// unbounded growth. An evicted host that reappears starts a cold
+	// stream.
+	MaxHosts int
 }
+
+// DefaultMaxHosts bounds per-host monitor state when MonitorConfig.MaxHosts
+// is unset. The paper's fleet is ~2.5k vPEs; 8192 leaves generous headroom
+// while keeping worst-case memory finite.
+const DefaultMaxHosts = 8192
 
 // DefaultMonitorConfig returns the paper's warning-clustering parameters
 // with a placeholder threshold of 6 (≈ e^-6 next-template likelihood).
@@ -28,7 +41,25 @@ func DefaultMonitorConfig() MonitorConfig {
 		Threshold:      6,
 		ClusterWindow:  detect.DefaultClusterWindow,
 		MinClusterSize: detect.DefaultMinClusterSize,
+		MaxHosts:       DefaultMaxHosts,
 	}
+}
+
+// MonitorStats is a snapshot of the monitor's cumulative counters.
+type MonitorStats struct {
+	// Messages is the number of messages ingested.
+	Messages uint64
+	// Anomalies is the number of messages scored above the threshold.
+	Anomalies uint64
+	// Warnings is the number of warning signatures emitted.
+	Warnings uint64
+	// EvictedHosts counts least-recently-seen host states dropped to honor
+	// MaxHosts.
+	EvictedHosts uint64
+	// ModelSwaps counts successful SwapModel calls (hot reloads).
+	ModelSwaps uint64
+	// ActiveHosts is the number of per-host states currently held.
+	ActiveHosts int
 }
 
 // Monitor is the live counterpart of the offline pipeline: it templates
@@ -37,21 +68,32 @@ func DefaultMonitorConfig() MonitorConfig {
 // emits warning signatures to a callback.
 //
 // HandleMessage is safe to call from one goroutine at a time (the ingest
-// Server's dispatcher provides exactly that); Warnings and counters may be
-// read concurrently.
+// Server's dispatcher provides exactly that); Warnings, Stats, Checkpoint,
+// and SwapModel may be called concurrently with it.
 type Monitor struct {
-	cfg     MonitorConfig
-	tree    *sigtree.Tree
-	resolve func(host string) *detect.LSTMDetector
+	cfg MonitorConfig
 
 	onWarning func(detect.Warning)
 
 	mu       sync.Mutex
-	streams  map[string]*detect.LSTMStream
-	clusters map[string]*clusterState
+	tree     *sigtree.Tree
+	resolve  func(host string) *detect.LSTMDetector
+	hosts    map[string]*list.Element
+	lru      *list.List // of *hostState; front = most recently seen
 	warnings []detect.Warning
 	messages uint64
 	anoms    uint64
+	evicted  uint64
+	swaps    uint64
+}
+
+// hostState is everything the monitor remembers about one vPE: its scoring
+// stream and its in-progress anomaly cluster. Stream and cluster live and
+// die together under the LRU so eviction cannot leave half a host behind.
+type hostState struct {
+	host    string
+	stream  *detect.LSTMStream
+	cluster *clusterState // nil until the host's first anomaly
 }
 
 // clusterState tracks the in-progress anomaly cluster of one vPE.
@@ -78,13 +120,16 @@ func NewMonitorWithResolver(cfg MonitorConfig, tree *sigtree.Tree, resolve func(
 	if cfg.MinClusterSize <= 0 {
 		cfg.MinClusterSize = detect.DefaultMinClusterSize
 	}
+	if cfg.MaxHosts <= 0 {
+		cfg.MaxHosts = DefaultMaxHosts
+	}
 	return &Monitor{
 		cfg:       cfg,
 		tree:      tree,
 		resolve:   resolve,
 		onWarning: onWarning,
-		streams:   make(map[string]*detect.LSTMStream),
-		clusters:  make(map[string]*clusterState),
+		hosts:     make(map[string]*list.Element),
+		lru:       list.New(),
 	}
 }
 
@@ -94,44 +139,83 @@ func (m *Monitor) HandleMessage(msg logfmt.Message) {
 	defer m.mu.Unlock()
 	m.messages++
 	tpl := m.tree.Learn(msg.Text)
-	st := m.streams[msg.Host]
-	if st == nil {
-		det := m.resolve(msg.Host)
-		if det == nil {
-			return // no model for this host yet
-		}
-		st = det.NewStream()
-		if st == nil {
-			return // detector not trained yet
-		}
-		m.streams[msg.Host] = st
+	hs := m.hostFor(msg.Host)
+	if hs == nil {
+		return // no model for this host yet
 	}
-	score := st.Push(features.Event{Time: msg.Time, Template: tpl.ID})
+	score := hs.stream.Push(features.Event{Time: msg.Time, Template: tpl.ID})
 	if score <= m.cfg.Threshold {
 		return
 	}
 	m.anoms++
-	m.observeAnomaly(msg.Host, msg.Time)
+	m.observeAnomaly(hs, msg.Time)
 }
 
-// observeAnomaly advances the per-vPE cluster state and emits a warning
+// hostFor returns the (possibly new) state for host, refreshing its LRU
+// position and evicting the coldest host when over the cap. It returns nil
+// when no detector serves the host yet.
+func (m *Monitor) hostFor(host string) *hostState {
+	if el, ok := m.hosts[host]; ok {
+		m.lru.MoveToFront(el)
+		return el.Value.(*hostState)
+	}
+	det := m.resolve(host)
+	if det == nil {
+		return nil
+	}
+	st := det.NewStream()
+	if st == nil {
+		return nil // detector not trained yet
+	}
+	hs := &hostState{host: host, stream: st}
+	m.hosts[host] = m.lru.PushFront(hs)
+	for m.lru.Len() > m.cfg.MaxHosts {
+		oldest := m.lru.Back()
+		old := oldest.Value.(*hostState)
+		m.lru.Remove(oldest)
+		delete(m.hosts, old.host)
+		m.evicted++
+	}
+	return hs
+}
+
+// observeAnomaly advances the host's cluster state and emits a warning
 // when a cluster reaches the minimum size (once per cluster).
-func (m *Monitor) observeAnomaly(vpe string, at time.Time) {
-	cs := m.clusters[vpe]
+func (m *Monitor) observeAnomaly(hs *hostState, at time.Time) {
+	cs := hs.cluster
 	if cs == nil || at.Sub(cs.last) > m.cfg.ClusterWindow {
-		m.clusters[vpe] = &clusterState{first: at, last: at, size: 1}
+		hs.cluster = &clusterState{first: at, last: at, size: 1}
 		return
 	}
 	cs.last = at
 	cs.size++
 	if cs.size >= m.cfg.MinClusterSize && !cs.reported {
 		cs.reported = true
-		w := detect.Warning{VPE: vpe, Time: cs.first, Size: cs.size}
+		w := detect.Warning{VPE: hs.host, Time: cs.first, Size: cs.size}
 		m.warnings = append(m.warnings, w)
 		if m.onWarning != nil {
 			m.onWarning(w)
 		}
 	}
+}
+
+// SwapModel atomically replaces the serving model — signature tree,
+// detector resolver, and threshold — with a freshly loaded bundle, the
+// runtime half of the paper's monthly retraining loop (§4.4). Per-host
+// stream state is reset (the new model's recurrent state and vocabulary are
+// not compatible with the old one's); warnings and counters carry over.
+// threshold <= 0 keeps the current threshold.
+func (m *Monitor) SwapModel(tree *sigtree.Tree, resolve func(host string) *detect.LSTMDetector, threshold float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tree = tree
+	m.resolve = resolve
+	if threshold > 0 {
+		m.cfg.Threshold = threshold
+	}
+	m.hosts = make(map[string]*list.Element)
+	m.lru = list.New()
+	m.swaps++
 }
 
 // Warnings returns a copy of all warnings emitted so far.
@@ -148,4 +232,18 @@ func (m *Monitor) Counters() (messages, anomalies uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.messages, m.anoms
+}
+
+// Stats returns a snapshot of all monitor counters.
+func (m *Monitor) Stats() MonitorStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MonitorStats{
+		Messages:     m.messages,
+		Anomalies:    m.anoms,
+		Warnings:     uint64(len(m.warnings)),
+		EvictedHosts: m.evicted,
+		ModelSwaps:   m.swaps,
+		ActiveHosts:  m.lru.Len(),
+	}
 }

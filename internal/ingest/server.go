@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nfvpredict/internal/logfmt"
 )
@@ -53,6 +54,9 @@ type Stats struct {
 	Malformed uint64
 	// Dropped is the number of messages discarded on queue overflow.
 	Dropped uint64
+	// SinkPanics is the number of sink panics recovered by the dispatcher.
+	// The message that triggered a panic is lost; the server keeps serving.
+	SinkPanics uint64
 }
 
 // Server receives syslog over UDP and TCP and hands parsed messages to a
@@ -69,9 +73,16 @@ type Server struct {
 	closed  chan struct{}
 	closeMu sync.Once
 
-	received  atomic.Uint64
-	malformed atomic.Uint64
-	dropped   atomic.Uint64
+	// connMu guards conns, the set of accepted TCP connections. Close
+	// closes them all so serveTCP goroutines blocked mid-frame unblock
+	// instead of deadlocking the shutdown.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	received   atomic.Uint64
+	malformed  atomic.Uint64
+	dropped    atomic.Uint64
+	sinkPanics atomic.Uint64
 }
 
 // NewServer creates a server delivering parsed messages to sink.
@@ -93,6 +104,7 @@ func NewServer(cfg ServerConfig, sink func(logfmt.Message)) (*Server, error) {
 		sink:   sink,
 		queue:  make(chan logfmt.Message, cfg.QueueSize),
 		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
 	}
 	if cfg.UDPAddr != "" {
 		addr, err := net.ResolveUDPAddr("udp", cfg.UDPAddr)
@@ -141,9 +153,10 @@ func (s *Server) TCPAddr() net.Addr {
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Received:  s.received.Load(),
-		Malformed: s.malformed.Load(),
-		Dropped:   s.dropped.Load(),
+		Received:   s.received.Load(),
+		Malformed:  s.malformed.Load(),
+		Dropped:    s.dropped.Load(),
+		SinkPanics: s.sinkPanics.Load(),
 	}
 }
 
@@ -171,7 +184,9 @@ func (s *Server) Start(ctx context.Context) {
 	}
 }
 
-// Close stops the listeners and waits for in-flight work to drain.
+// Close stops the listeners, interrupts accepted connections (so a handler
+// blocked mid-frame cannot stall shutdown), and waits for in-flight work to
+// drain.
 func (s *Server) Close() {
 	s.closeMu.Do(func() {
 		close(s.closed)
@@ -181,8 +196,34 @@ func (s *Server) Close() {
 		if s.tcp != nil {
 			s.tcp.Close()
 		}
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
 	})
 	s.wg.Wait()
+}
+
+// trackConn registers an accepted connection for shutdown; it reports false
+// when the server is already closing (the caller should drop the conn).
+func (s *Server) trackConn(c net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+// untrackConn removes a finished connection.
+func (s *Server) untrackConn(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
 }
 
 // enqueue parses and queues one raw line.
@@ -210,12 +251,12 @@ func (s *Server) dispatch() {
 	for {
 		select {
 		case m := <-s.queue:
-			s.sink(m)
+			s.deliver(m)
 		case <-s.closed:
 			for {
 				select {
 				case m := <-s.queue:
-					s.sink(m)
+					s.deliver(m)
 				default:
 					return
 				}
@@ -224,10 +265,45 @@ func (s *Server) dispatch() {
 	}
 }
 
+// deliver hands one message to the sink, isolating the server from sink
+// panics: a panicking sink loses that one message and bumps SinkPanics, but
+// ingestion keeps running — the monitor must degrade, not die (§1 runs the
+// system continuously beside reactive monitoring).
+func (s *Server) deliver(m logfmt.Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.sinkPanics.Add(1)
+		}
+	}()
+	s.sink(m)
+}
+
+// backoff sleeps with exponential growth between transient listener errors
+// (e.g. EMFILE on accept), so a persistent error condition costs retries
+// per second instead of a hot spin. It returns the next delay; callers
+// reset to zero after a success. Sleeping is interrupted by Close.
+func (s *Server) backoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.closed:
+	}
+	d *= 2
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
 // readUDP treats each datagram as one syslog message.
 func (s *Server) readUDP() {
 	defer s.wg.Done()
 	buf := make([]byte, 64*1024)
+	var delay time.Duration
 	for {
 		n, _, err := s.udp.ReadFromUDP(buf)
 		if err != nil {
@@ -239,8 +315,10 @@ func (s *Server) readUDP() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
+			delay = s.backoff(delay)
 			continue
 		}
+		delay = 0
 		s.enqueue(buf[:n])
 	}
 }
@@ -248,6 +326,7 @@ func (s *Server) readUDP() {
 // acceptTCP serves each connection with RFC 6587 framing.
 func (s *Server) acceptTCP() {
 	defer s.wg.Done()
+	var delay time.Duration
 	for {
 		conn, err := s.tcp.Accept()
 		if err != nil {
@@ -259,11 +338,18 @@ func (s *Server) acceptTCP() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
+			delay = s.backoff(delay)
 			continue
+		}
+		delay = 0
+		if !s.trackConn(conn) {
+			conn.Close()
+			return
 		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrackConn(conn)
 			defer conn.Close()
 			s.serveTCP(conn)
 		}()
@@ -272,6 +358,13 @@ func (s *Server) acceptTCP() {
 
 // serveTCP reads RFC 6587 frames: octet counting ("123 <pri>...") when the
 // stream starts with a digit, non-transparent LF framing otherwise.
+//
+// Malformed octet counts do not kill the connection: an oversize but
+// parseable length skips exactly that many bytes (frame-level resync), and
+// an unparseable or zero/leading-zero length falls back to discarding
+// through the next LF. Either way the frame is counted as malformed and the
+// peer keeps its connection — one bad sender line must not silently drop a
+// vPE from monitoring.
 func (s *Server) serveTCP(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, s.cfg.MaxLine)
 	for {
@@ -284,16 +377,29 @@ func (s *Server) serveTCP(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if b[0] >= '1' && b[0] <= '9' {
+		if b[0] >= '0' && b[0] <= '9' {
 			// Octet counting: "<len> <msg>".
-			lenStr, err := r.ReadString(' ')
+			n, ok, err := readOctetLen(r)
 			if err != nil {
 				return
 			}
-			n, convErr := strconv.Atoi(lenStr[:len(lenStr)-1])
-			if convErr != nil || n <= 0 || n > s.cfg.MaxLine {
+			if !ok || n <= 0 {
+				// Unusable length (leading zero, overlong, junk, or "0").
+				// Resync on the LF boundary like a non-transparent frame.
 				s.malformed.Add(1)
-				return // framing is unrecoverable
+				if _, err := r.ReadBytes('\n'); err != nil {
+					return
+				}
+				continue
+			}
+			if n > s.cfg.MaxLine {
+				// Parseable but oversize: skip the advertised frame so the
+				// stream stays in sync, then keep serving the peer.
+				s.malformed.Add(1)
+				if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+					return
+				}
+				continue
 			}
 			frame := make([]byte, n)
 			if _, err := io.ReadFull(r, frame); err != nil {
@@ -311,4 +417,38 @@ func (s *Server) serveTCP(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// maxOctetDigits bounds the octet-count field; RFC 6587 lengths fit well
+// within it, and the bound keeps a malicious all-digit stream from growing
+// an unbounded length token.
+const maxOctetDigits = 10
+
+// readOctetLen consumes an octet-count prefix "<digits> " from r. It
+// returns ok=false (with the bad digits consumed) when the field is
+// syntactically unusable: leading zero, more than maxOctetDigits digits,
+// or a non-space after the digits. err is an I/O error from the stream.
+func readOctetLen(r *bufio.Reader) (n int, ok bool, err error) {
+	var digits []byte
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, false, err
+		}
+		if b == ' ' {
+			break
+		}
+		if b < '0' || b > '9' || len(digits) >= maxOctetDigits {
+			return 0, false, nil
+		}
+		digits = append(digits, b)
+	}
+	if len(digits) == 0 || (digits[0] == '0' && len(digits) > 1) {
+		return 0, false, nil
+	}
+	v, convErr := strconv.Atoi(string(digits))
+	if convErr != nil {
+		return 0, false, nil
+	}
+	return v, true, nil
 }

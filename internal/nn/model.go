@@ -254,6 +254,48 @@ func (m *SequenceModel) NewStreamState() *StreamState {
 	return st
 }
 
+// StreamSnapshot is the portable form of a StreamState: the per-layer
+// hidden and cell vectors, copied out of the live state. It is plain data
+// (gob-friendly) so monitors can checkpoint mid-stream scoring state and
+// resume bit-identically after a restart.
+type StreamSnapshot struct {
+	H, C [][]float64
+}
+
+// Snapshot copies the recurrent state out of st.
+func (st *StreamState) Snapshot() StreamSnapshot {
+	snap := StreamSnapshot{
+		H: make([][]float64, len(st.layers)),
+		C: make([][]float64, len(st.layers)),
+	}
+	for i, l := range st.layers {
+		snap.H[i] = append([]float64(nil), l.H...)
+		snap.C[i] = append([]float64(nil), l.C...)
+	}
+	return snap
+}
+
+// RestoreStreamState rebuilds a StreamState from a snapshot taken against a
+// model of the same architecture. It validates layer count and widths so a
+// checkpoint replayed against a different (e.g. hot-reloaded) model fails
+// loudly instead of scoring garbage.
+func (m *SequenceModel) RestoreStreamState(snap StreamSnapshot) (*StreamState, error) {
+	if len(snap.H) != len(m.lstms) || len(snap.C) != len(m.lstms) {
+		return nil, fmt.Errorf("nn: stream snapshot has %d/%d layers, model has %d",
+			len(snap.H), len(snap.C), len(m.lstms))
+	}
+	st := m.NewStreamState()
+	for i, l := range m.lstms {
+		if len(snap.H[i]) != l.Hidden || len(snap.C[i]) != l.Hidden {
+			return nil, fmt.Errorf("nn: stream snapshot layer %d is %dx%d wide, model wants %d",
+				i, len(snap.H[i]), len(snap.C[i]), l.Hidden)
+		}
+		copy(st.layers[i].H, snap.H[i])
+		copy(st.layers[i].C, snap.C[i])
+	}
+	return st, nil
+}
+
 // StepLogits feeds one token through the model, advancing st, and returns
 // the logits over the next template. The returned vector aliases st's
 // scratch and stays valid until the next step on the same state.

@@ -1,0 +1,62 @@
+package wireframe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nfvpredict/internal/faultinject"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("the payload bytes")
+	if err := Encode(&buf, "TEST", 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, framed, err := Decode(buf.Bytes(), "TEST", 3)
+	if err != nil || !framed {
+		t.Fatalf("decode: framed=%v err=%v", framed, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload: %q", got)
+	}
+}
+
+func TestDecodeUnframed(t *testing.T) {
+	payload, framed, err := Decode([]byte("not framed data"), "TEST", 1)
+	if err != nil || framed || payload != nil {
+		t.Fatalf("unframed input must be (nil,false,nil): %q %v %v", payload, framed, err)
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, "TEST", 1, bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	for cut := 5; cut < len(full); cut += 17 {
+		if _, _, err := Decode(full[:cut], "TEST", 1); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	flipped := append([]byte(nil), full...)
+	faultinject.FlipBit(flipped, (16+50)*8)
+	if _, _, err := Decode(flipped, "TEST", 1); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("bit flip: %v", err)
+	}
+	if _, _, err := Decode(full, "TEST", 2); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch: %v", err)
+	}
+}
+
+func TestBadMagicLength(t *testing.T) {
+	if err := Encode(&bytes.Buffer{}, "TOOLONG", 1, nil); err == nil {
+		t.Fatal("magic must be 4 bytes")
+	}
+	if _, _, err := Decode(nil, "TOOLONG", 1); err == nil {
+		t.Fatal("magic must be 4 bytes")
+	}
+}
