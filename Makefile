@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race ci bench bench-nn bench-pipeline figures
+.PHONY: build test test-race ci bench bench-nn bench-pipeline bench-obs figures
 
 build:
 	$(GO) build ./...
@@ -15,14 +15,17 @@ test:
 test-race:
 	$(GO) test -race ./internal/...
 
-# Full gate: what a CI job runs. Vet, build, the whole test suite, and the
-# race pass over the concurrent packages.
+# Full gate: what a CI job runs. Vet, build, the whole test suite, the
+# race pass over the concurrent packages, and a benchmark smoke run that
+# reports the metrics hot path's allocation counts (the hard 0 allocs/op
+# assertion is TestHotPathAllocFree, which runs with the suite).
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) test-race
+	$(GO) test ./internal/obs/ -run XXX -bench Registry -benchtime=1x -benchmem
 
-bench: bench-nn bench-pipeline
+bench: bench-nn bench-pipeline bench-obs
 
 bench-nn:
 	$(GO) test ./internal/nn/ -run XXX -bench . -benchmem
@@ -32,3 +35,7 @@ bench-pipeline:
 
 figures:
 	$(GO) run ./cmd/figures -fig all
+
+bench-obs:
+	$(GO) test ./internal/obs/ -run XXX -bench . -benchmem
+	$(GO) test ./internal/detect/ -run XXX -bench StreamPush -benchmem -benchtime 20000x

@@ -12,10 +12,17 @@
 // bundle that fails validation is rejected and the serving bundle stays
 // active (§4.4's monthly retraining loop, minus the downtime).
 //
+// With -admin the monitor serves an HTTP observability surface: /metrics
+// (Prometheus text; ?format=json for JSON), /statusz (JSON status snapshot
+// including the serving bundle and last checkpoint), /traces (recent
+// decision traces explaining each anomaly verdict), /healthz + /readyz
+// (503 while degraded, e.g. after a rejected hot reload), and the pprof
+// suite under /debug/pprof/.
+//
 // Usage:
 //
 //	nfvmonitor -udp 127.0.0.1:5514 -tcp 127.0.0.1:5514 -threshold 6 \
-//	           -model model.bundle -checkpoint monitor.ckpt
+//	           -model model.bundle -checkpoint monitor.ckpt -admin :9090
 //
 // Point any RFC 3164 syslog sender at it, e.g.:
 //
@@ -26,8 +33,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -36,51 +46,264 @@ import (
 	"nfvpredict/internal/detect"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/ingest"
+	"nfvpredict/internal/obs"
 	"nfvpredict/internal/pipeline"
 	"nfvpredict/internal/sigtree"
 )
 
+// options collects the flag values.
+type options struct {
+	udp, tcp  string
+	threshold float64
+	year      int
+	seed      int64
+	model     string
+	ckpt      string
+	ckptEvery time.Duration
+	admin     string
+	traceBuf  int
+	verbose   bool
+}
+
 func main() {
-	udp := flag.String("udp", "127.0.0.1:5514", "UDP listen address (empty disables)")
-	tcp := flag.String("tcp", "", "TCP listen address (empty disables)")
-	threshold := flag.Float64("threshold", 6, "anomaly threshold (negative log-likelihood; overridden by a bundle's recommendation)")
-	year := flag.Int("year", time.Now().Year(), "year for RFC 3164 timestamps")
-	seed := flag.Int64("seed", 1, "bootstrap-simulation seed (when no -model)")
-	model := flag.String("model", "", "trained bundle from cmd/nfvtrain (empty: bootstrap on simulation); SIGHUP hot-reloads it")
-	ckpt := flag.String("checkpoint", "", "checkpoint file: online state is saved here periodically and restored at startup (empty disables)")
-	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "how often to write the checkpoint")
+	var o options
+	flag.StringVar(&o.udp, "udp", "127.0.0.1:5514", "UDP listen address (empty disables)")
+	flag.StringVar(&o.tcp, "tcp", "", "TCP listen address (empty disables)")
+	flag.Float64Var(&o.threshold, "threshold", 6, "anomaly threshold (negative log-likelihood; overridden by a bundle's recommendation)")
+	flag.IntVar(&o.year, "year", time.Now().Year(), "year for RFC 3164 timestamps")
+	flag.Int64Var(&o.seed, "seed", 1, "bootstrap-simulation seed (when no -model)")
+	flag.StringVar(&o.model, "model", "", "trained bundle from cmd/nfvtrain (empty: bootstrap on simulation); SIGHUP hot-reloads it")
+	flag.StringVar(&o.ckpt, "checkpoint", "", "checkpoint file: online state is saved here periodically and restored at startup (empty disables)")
+	flag.DurationVar(&o.ckptEvery, "checkpoint-interval", time.Minute, "how often to write the checkpoint")
+	flag.StringVar(&o.admin, "admin", "", "admin HTTP listen address serving /metrics, /statusz, /traces, /healthz, /readyz, /debug/pprof (empty disables)")
+	flag.IntVar(&o.traceBuf, "trace-buffer", 256, "decision traces retained for /traces")
+	flag.BoolVar(&o.verbose, "v", false, "verbose (debug-level) logging")
 	flag.Parse()
 
-	if err := run(*udp, *tcp, *threshold, *year, *seed, *model, *ckpt, *ckptEvery); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "nfvmonitor:", err)
 		os.Exit(1)
 	}
 }
 
-// loadServing builds the serving model (tree + resolver + threshold) from a
-// bundle file or, without one, by bootstrap-training on a simulated month.
-func loadServing(model string, threshold float64, seed int64) (*sigtree.Tree, func(string) *detect.LSTMDetector, float64, error) {
+// app is the assembled runtime: every long-lived component of the monitor
+// process plus the mutable status the admin surface reports. It exists (as
+// opposed to locals in run) so the admin endpoints and the hot-reload path
+// can be driven by tests without a process or signals.
+type app struct {
+	log     *obs.Logger
+	reg     *obs.Registry
+	traces  *obs.TraceRing
+	health  *obs.Health
+	mon     *ingest.Monitor
+	srv     *ingest.Server
+	started time.Time
+
+	reloads        *obs.Counter
+	reloadFailures *obs.Counter
+	ckptFailures   *obs.Counter
+	lastCkptUnix   *obs.Gauge
+
+	mu     sync.Mutex
+	bundle bundleStatus
+	ckpt   ckptStatus
+}
+
+// bundleStatus describes the serving model for /statusz.
+type bundleStatus struct {
+	Path          string    `json:"path,omitempty"`
+	FormatVersion uint32    `json:"format_version,omitempty"`
+	LoadedAt      time.Time `json:"loaded_at,omitempty"`
+	Detectors     int       `json:"detectors"`
+	Templates     int       `json:"templates"`
+	Threshold     float64   `json:"threshold"`
+	Bootstrap     bool      `json:"bootstrap,omitempty"`
+}
+
+// ckptStatus describes checkpoint activity for /statusz.
+type ckptStatus struct {
+	Path        string    `json:"path,omitempty"`
+	LastSavedAt time.Time `json:"last_saved_at,omitempty"`
+	LastError   string    `json:"last_error,omitempty"`
+	RestoredAt  time.Time `json:"restored_at,omitempty"`
+}
+
+// statusDoc is the /statusz document.
+type statusDoc struct {
+	Now        time.Time           `json:"now"`
+	UptimeSec  float64             `json:"uptime_sec"`
+	Ready      bool                `json:"ready"`
+	Reason     string              `json:"reason,omitempty"`
+	Bundle     bundleStatus        `json:"bundle"`
+	Checkpoint ckptStatus          `json:"checkpoint"`
+	Monitor    ingest.MonitorStats `json:"monitor"`
+	Ingest     ingest.Stats        `json:"ingest"`
+	Traces     uint64              `json:"traces_total"`
+}
+
+// newApp builds the observability plumbing shared by every code path.
+func newApp(log *obs.Logger, traceBuf int) *app {
+	reg := obs.NewRegistry()
+	a := &app{
+		log:     log,
+		reg:     reg,
+		traces:  obs.NewTraceRing(traceBuf),
+		health:  obs.NewHealth(),
+		started: time.Now(),
+		reloads: reg.Counter("monitor_bundle_reloads_total",
+			"Successful SIGHUP bundle hot reloads."),
+		reloadFailures: reg.Counter("monitor_bundle_reload_failures_total",
+			"Rejected bundle hot reloads (load or validation failure)."),
+		ckptFailures: reg.Counter("monitor_checkpoint_failures_total",
+			"Checkpoint writes that failed."),
+		lastCkptUnix: reg.Gauge("monitor_checkpoint_last_unix",
+			"Unix time of the last successful checkpoint write (0 = never)."),
+	}
+	return a
+}
+
+// status builds the /statusz document.
+func (a *app) status() any {
+	a.mu.Lock()
+	b, c := a.bundle, a.ckpt
+	a.mu.Unlock()
+	ready, reason := a.health.Ready()
+	doc := statusDoc{
+		Now:        time.Now(),
+		UptimeSec:  time.Since(a.started).Seconds(),
+		Ready:      ready,
+		Reason:     reason,
+		Bundle:     b,
+		Checkpoint: c,
+		Traces:     a.traces.Total(),
+	}
+	if a.mon != nil {
+		doc.Monitor = a.mon.Stats()
+		doc.Bundle.Threshold = a.mon.Threshold()
+	}
+	if a.srv != nil {
+		doc.Ingest = a.srv.Stats()
+	}
+	return doc
+}
+
+// adminMux assembles the admin surface.
+func (a *app) adminMux() *http.ServeMux {
+	return obs.NewAdminMux(obs.AdminConfig{
+		Registry: a.reg,
+		Traces:   a.traces,
+		Health:   a.health,
+		Status:   a.status,
+	})
+}
+
+// setBundle records the serving model in /statusz.
+func (a *app) setBundle(b bundleStatus) {
+	a.mu.Lock()
+	a.bundle = b
+	a.mu.Unlock()
+}
+
+// reload re-reads the bundle file and swaps it in. A bundle that fails to
+// load or validate is rejected: the serving model stays active, the
+// failure is counted, and readiness flips off (with the error as reason)
+// until a reload succeeds — exactly the state an operator should see on
+// /readyz while a bad bundle sits on disk.
+func (a *app) reload(model string) error {
+	b, err := bundle.LoadFile(model)
+	if err != nil {
+		a.reloadFailures.Inc()
+		a.health.SetReady(false, fmt.Sprintf("hot-reload of %s rejected: %v", model, err))
+		a.log.Error("hot-reload rejected, keeping serving bundle", "model", model, "err", err)
+		return err
+	}
+	a.mon.SwapModel(b.Tree, b.DetectorFor, b.Threshold)
+	a.mon.SetClusterOf(func(host string) int {
+		if ci, ok := b.Assign[host]; ok {
+			return ci
+		}
+		return 0
+	})
+	a.reloads.Inc()
+	a.health.SetReady(true, "")
+	a.setBundle(bundleStatus{
+		Path:          model,
+		FormatVersion: bundle.Version,
+		LoadedAt:      time.Now(),
+		Detectors:     len(b.Detectors),
+		Templates:     b.Tree.Len(),
+		Threshold:     b.Threshold,
+	})
+	a.log.Info("hot-reloaded bundle", "model", model,
+		"detectors", len(b.Detectors), "templates", b.Tree.Len(), "threshold", b.Threshold)
+	return nil
+}
+
+// saveCheckpoint writes the checkpoint file, recording the outcome for
+// /statusz and /metrics.
+func (a *app) saveCheckpoint(path, reason string) {
+	if path == "" {
+		return
+	}
+	err := a.mon.CheckpointFile(path)
+	now := time.Now()
+	a.mu.Lock()
+	a.ckpt.Path = path
+	if err != nil {
+		a.ckpt.LastError = err.Error()
+	} else {
+		a.ckpt.LastSavedAt = now
+		a.ckpt.LastError = ""
+	}
+	a.mu.Unlock()
+	if err != nil {
+		a.ckptFailures.Inc()
+		a.log.Error("checkpoint failed", "path", path, "reason", reason, "err", err)
+		return
+	}
+	a.lastCkptUnix.SetTime(now)
+	a.log.Debug("checkpoint written", "path", path, "reason", reason)
+}
+
+// loadServing builds the serving model (tree + resolver + cluster mapping +
+// threshold) from a bundle file or, without one, by bootstrap-training on a
+// simulated month.
+func loadServing(a *app, model string, threshold float64, seed int64) (*sigtree.Tree, func(string) *detect.LSTMDetector, func(string) int, float64, error) {
 	if model != "" {
 		b, err := bundle.LoadFile(model)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		if b.Threshold > 0 {
 			threshold = b.Threshold
 		}
-		fmt.Printf("loaded bundle %s: %d detectors, %d templates, threshold %.3f\n",
-			model, len(b.Detectors), b.Tree.Len(), threshold)
-		return b.Tree, b.DetectorFor, threshold, nil
+		a.log.Info("loaded bundle", "model", model, "detectors", len(b.Detectors),
+			"templates", b.Tree.Len(), "threshold", threshold)
+		a.setBundle(bundleStatus{
+			Path:          model,
+			FormatVersion: bundle.Version,
+			LoadedAt:      time.Now(),
+			Detectors:     len(b.Detectors),
+			Templates:     b.Tree.Len(),
+			Threshold:     threshold,
+		})
+		clusterOf := func(host string) int {
+			if ci, ok := b.Assign[host]; ok {
+				return ci
+			}
+			return 0
+		}
+		return b.Tree, b.DetectorFor, clusterOf, threshold, nil
 	}
 	// Bootstrap: train on a simulated month of normal fleet traffic.
-	fmt.Println("bootstrapping detector on simulated training archive...")
+	a.log.Info("bootstrapping detector on simulated training archive")
 	simCfg := nfvpredict.SmallSimConfig()
 	simCfg.Seed = seed
 	simCfg.Months = 1
 	simCfg.UpdateMonth = -1
 	trace, err := nfvpredict.Simulate(simCfg)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	ds := pipeline.BuildDataset(trace, simCfg.Start, simCfg.Months)
 	var streams [][]features.Event
@@ -90,62 +313,103 @@ func loadServing(model string, threshold float64, seed int64) (*sigtree.Tree, fu
 		}
 	}
 	det := detect.NewLSTMDetector(detect.DefaultLSTMConfig())
+	det.SetMetrics(a.reg, "")
 	if err := det.Train(streams); err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
-	fmt.Printf("detector trained on %d vPE streams, %d templates known\n", len(streams), ds.Tree.Len())
-	return ds.Tree, func(string) *detect.LSTMDetector { return det }, threshold, nil
+	a.log.Info("detector trained", "streams", len(streams), "templates", ds.Tree.Len())
+	a.setBundle(bundleStatus{
+		Bootstrap: true,
+		LoadedAt:  time.Now(),
+		Detectors: 1,
+		Templates: ds.Tree.Len(),
+		Threshold: threshold,
+	})
+	return ds.Tree, func(string) *detect.LSTMDetector { return det }, nil, threshold, nil
 }
 
-func run(udp, tcp string, threshold float64, year int, seed int64, model, ckpt string, ckptEvery time.Duration) error {
-	tree, resolve, threshold, err := loadServing(model, threshold, seed)
+func run(o options) error {
+	level := obs.LevelInfo
+	if o.verbose {
+		level = obs.LevelDebug
+	}
+	a := newApp(obs.NewLogger(os.Stdout, level), o.traceBuf)
+
+	tree, resolve, clusterOf, threshold, err := loadServing(a, o.model, o.threshold, o.seed)
 	if err != nil {
 		return err
 	}
 
 	mcfg := ingest.DefaultMonitorConfig()
 	mcfg.Threshold = threshold
+	mcfg.Metrics = a.reg
+	mcfg.Traces = a.traces
+	mcfg.ClusterOf = clusterOf
 	onWarning := func(w nfvpredict.Warning) {
-		fmt.Printf("%s WARNING vpe=%s anomalies=%d first=%s\n",
-			time.Now().Format(time.RFC3339), w.VPE, w.Size, w.Time.Format(time.RFC3339))
+		a.log.Warn("warning signature", "vpe", w.VPE, "anomalies", w.Size, "first", w.Time)
 	}
 
 	// Resume from the last checkpoint when one exists; any failure —
 	// missing file, corruption, model mismatch after a retrain — degrades
 	// to a cold start, never a refusal to serve.
-	var mon *ingest.Monitor
-	if ckpt != "" {
-		if _, serr := os.Stat(ckpt); serr == nil {
-			restored, rerr := ingest.RestoreMonitorFile(ckpt, mcfg, resolve, onWarning)
+	if o.ckpt != "" {
+		if _, serr := os.Stat(o.ckpt); serr == nil {
+			restored, rerr := ingest.RestoreMonitorFile(o.ckpt, mcfg, resolve, onWarning)
 			if rerr != nil {
-				fmt.Fprintf(os.Stderr, "nfvmonitor: checkpoint %s unusable (%v), starting cold\n", ckpt, rerr)
+				a.log.Warn("checkpoint unusable, starting cold", "path", o.ckpt, "err", rerr)
 			} else {
-				mon = restored
-				st := mon.Stats()
-				fmt.Printf("restored checkpoint %s: %d hosts, %d messages, %d warnings\n",
-					ckpt, st.ActiveHosts, st.Messages, st.Warnings)
+				a.mon = restored
+				st := a.mon.Stats()
+				a.mu.Lock()
+				a.ckpt.RestoredAt = time.Now()
+				a.mu.Unlock()
+				a.log.Info("restored checkpoint", "path", o.ckpt,
+					"hosts", st.ActiveHosts, "messages", st.Messages, "warnings", st.Warnings)
 			}
 		}
 	}
-	if mon == nil {
-		mon = ingest.NewMonitorWithResolver(mcfg, tree, resolve, onWarning)
+	if a.mon == nil {
+		a.mon = ingest.NewMonitorWithResolver(mcfg, tree, resolve, onWarning)
 	}
 
 	scfg := ingest.DefaultServerConfig()
-	scfg.UDPAddr, scfg.TCPAddr, scfg.Year = udp, tcp, year
-	srv, err := ingest.NewServer(scfg, mon.HandleMessage)
+	scfg.UDPAddr, scfg.TCPAddr, scfg.Year = o.udp, o.tcp, o.year
+	scfg.Metrics = a.reg
+	srv, err := ingest.NewServer(scfg, a.mon.HandleMessage)
 	if err != nil {
 		return err
 	}
+	a.srv = srv
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv.Start(ctx)
 	defer srv.Close()
-	if a := srv.UDPAddr(); a != nil {
-		fmt.Println("listening UDP", a)
+	if addr := srv.UDPAddr(); addr != nil {
+		a.log.Info("listening", "proto", "udp", "addr", addr)
 	}
-	if a := srv.TCPAddr(); a != nil {
-		fmt.Println("listening TCP", a)
+	if addr := srv.TCPAddr(); addr != nil {
+		a.log.Info("listening", "proto", "tcp", "addr", addr)
+	}
+
+	// Admin surface: its own listener and mux, shut down with the monitor.
+	if o.admin != "" {
+		ln, lerr := net.Listen("tcp", o.admin)
+		if lerr != nil {
+			return fmt.Errorf("admin listener: %w", lerr)
+		}
+		admin := &http.Server{Handler: a.adminMux()}
+		go func() {
+			if serr := admin.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+				a.log.Error("admin server failed", "err", serr)
+			}
+		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			admin.Shutdown(sctx)
+		}()
+		a.log.Info("admin surface up", "addr", ln.Addr(),
+			"endpoints", "/metrics /statusz /traces /healthz /readyz /debug/pprof")
 	}
 
 	// SIGHUP: hot-reload the bundle. A bundle that fails to load or
@@ -154,53 +418,43 @@ func run(udp, tcp string, threshold float64, year int, seed int64, model, ckpt s
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)
 
-	saveCheckpoint := func(reason string) {
-		if ckpt == "" {
-			return
-		}
-		if err := mon.CheckpointFile(ckpt); err != nil {
-			fmt.Fprintf(os.Stderr, "nfvmonitor: checkpoint failed (%s): %v\n", reason, err)
-			return
-		}
-	}
-
 	status := time.NewTicker(10 * time.Second)
 	defer status.Stop()
 	ckptTick := make(<-chan time.Time) // nil channel: disabled
-	if ckpt != "" && ckptEvery > 0 {
-		t := time.NewTicker(ckptEvery)
+	if o.ckpt != "" && o.ckptEvery > 0 {
+		t := time.NewTicker(o.ckptEvery)
 		defer t.Stop()
 		ckptTick = t.C
 	}
 	for {
 		select {
 		case <-ctx.Done():
-			saveCheckpoint("shutdown")
-			mst := mon.Stats()
+			a.saveCheckpoint(o.ckpt, "shutdown")
+			mst := a.mon.Stats()
 			st := srv.Stats()
-			fmt.Printf("\nshutting down: %d messages (%d malformed, %d dropped, %d sink panics), %d anomalies, %d warnings, %d hosts evicted\n",
-				mst.Messages, st.Malformed, st.Dropped, st.SinkPanics, mst.Anomalies, mst.Warnings, mst.EvictedHosts)
+			a.log.Info("shutting down",
+				"messages", mst.Messages, "malformed", st.Malformed,
+				"dropped", st.Dropped, "sink_panics", st.SinkPanics,
+				"anomalies", mst.Anomalies, "warnings", mst.Warnings,
+				"evicted_hosts", mst.EvictedHosts)
 			return nil
 		case <-hup:
-			if model == "" {
-				fmt.Println("SIGHUP ignored: no -model bundle to reload")
+			if o.model == "" {
+				a.log.Warn("SIGHUP ignored: no -model bundle to reload")
 				continue
 			}
-			b, lerr := bundle.LoadFile(model)
-			if lerr != nil {
-				fmt.Fprintf(os.Stderr, "nfvmonitor: hot-reload rejected, keeping serving bundle: %v\n", lerr)
-				continue
+			if a.reload(o.model) == nil {
+				a.saveCheckpoint(o.ckpt, "post-reload")
 			}
-			mon.SwapModel(b.Tree, b.DetectorFor, b.Threshold)
-			fmt.Printf("hot-reloaded bundle %s: %d detectors, %d templates, threshold %.3f\n",
-				model, len(b.Detectors), b.Tree.Len(), b.Threshold)
-			saveCheckpoint("post-reload")
 		case <-ckptTick:
-			saveCheckpoint("interval")
+			a.saveCheckpoint(o.ckpt, "interval")
 		case <-status.C:
-			mst := mon.Stats()
-			fmt.Printf("status: messages=%d anomalies=%d warnings=%d hosts=%d\n",
-				mst.Messages, mst.Anomalies, mst.Warnings, mst.ActiveHosts)
+			mst := a.mon.Stats()
+			sst := srv.Stats()
+			a.log.Info("status",
+				"messages", mst.Messages, "anomalies", mst.Anomalies,
+				"warnings", mst.Warnings, "hosts", mst.ActiveHosts,
+				"malformed", sst.Malformed, "dropped", sst.Dropped)
 		}
 	}
 }

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/bundle"
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/ingest"
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/obs"
+	"nfvpredict/internal/sigtree"
+)
+
+// trainServing builds a small sigtree+detector pair on a cyclic corpus,
+// enough for scoring to separate seen from unseen messages.
+func trainServing(t *testing.T) (*sigtree.Tree, *detect.LSTMDetector) {
+	t.Helper()
+	tree := sigtree.New()
+	texts := []string{
+		"bgp keepalive exchanged with peer 10.0.0.1 hold 90",
+		"interface statistics poll completed for ge-0/0/1 in 12 ms",
+		"fpc 0 cpu utilization 20 percent memory 40 percent",
+		"ntp clock synchronized to 10.9.9.9 stratum 2 offset 120 us",
+	}
+	var stream []features.Event
+	base := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 1200; i++ {
+		tpl := tree.Learn(texts[i%len(texts)])
+		stream = append(stream, features.Event{Time: base.Add(time.Duration(i) * 30 * time.Second), Template: tpl.ID})
+	}
+	cfg := detect.DefaultLSTMConfig()
+	cfg.Hidden = []int{16}
+	cfg.MaxVocab = 16
+	cfg.Epochs = 6
+	cfg.OverSampleRounds = 0
+	det := detect.NewLSTMDetector(cfg)
+	if err := det.Train([][]features.Event{stream}); err != nil {
+		t.Fatal(err)
+	}
+	return tree, det
+}
+
+// testApp wires an app the way run() does, minus listeners and signals.
+func testApp(t *testing.T) (*app, *http.ServeMux) {
+	t.Helper()
+	a := newApp(obs.NewLogger(io.Discard, obs.LevelError), 32)
+	tree, det := trainServing(t)
+	mcfg := ingest.DefaultMonitorConfig()
+	mcfg.Threshold = 4
+	mcfg.Metrics = a.reg
+	mcfg.Traces = a.traces
+	mcfg.ClusterOf = func(string) int { return 0 }
+	a.mon = ingest.NewMonitor(mcfg, tree, det, nil)
+	return a, a.adminMux()
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// TestAdminHealthFlipsOnRejectedReload drives the hot-reload path the way a
+// SIGHUP does: a corrupt bundle on disk must flip /healthz and /readyz to
+// 503 with the rejection as reason while the serving model stays active,
+// and a subsequent good reload must restore 200.
+func TestAdminHealthFlipsOnRejectedReload(t *testing.T) {
+	a, mux := testApp(t)
+	dir := t.TempDir()
+
+	if code, _ := get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before any reload: %d", code)
+	}
+
+	bad := filepath.Join(dir, "bad.bundle")
+	if err := os.WriteFile(bad, []byte("NFVBthis is not a valid bundle payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.reload(bad); err == nil {
+		t.Fatal("corrupt bundle accepted")
+	}
+	code, body := get(t, mux, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "rejected") {
+		t.Fatalf("healthz after rejected reload: %d %q", code, body)
+	}
+	if code, body = get(t, mux, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, bad) {
+		t.Fatalf("readyz after rejected reload: %d %q", code, body)
+	}
+	// The monitor still serves: messages are still scored.
+	a.mon.HandleMessage(logfmt.Message{
+		Time: time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC),
+		Host: "vpe01", Tag: "rpd",
+		Text: "bgp keepalive exchanged with peer 10.0.0.1 hold 90",
+	})
+	if st := a.mon.Stats(); st.Messages != 1 {
+		t.Fatalf("monitor stopped serving after rejected reload: %+v", st)
+	}
+	// /statusz reports the degraded state.
+	var doc struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if _, body = get(t, mux, "/statusz"); json.Unmarshal([]byte(body), &doc) != nil || doc.Ready || doc.Reason == "" {
+		t.Fatalf("statusz during degradation: %s", body)
+	}
+
+	tree, det := trainServing(t)
+	good := filepath.Join(dir, "good.bundle")
+	gb := &bundle.Bundle{
+		Tree:      tree,
+		Detectors: []*detect.LSTMDetector{det},
+		Assign:    map[string]int{"vpe01": 0},
+		Threshold: 5,
+	}
+	if err := gb.SaveFile(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.reload(good); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after good reload: %d", code)
+	}
+	if got := a.mon.Threshold(); got != 5 {
+		t.Fatalf("reload did not apply bundle threshold: %v", got)
+	}
+	_, metrics := get(t, mux, "/metrics")
+	for _, want := range []string{
+		"monitor_bundle_reload_failures_total 1",
+		"monitor_bundle_reloads_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestAdminTracesExplainInjectedAnomaly feeds normal traffic plus a
+// synthetic anomaly through the monitor and checks /traces returns a trace
+// that explains the verdict end-to-end: host, score over threshold, and the
+// per-window log-probabilities that produced it.
+func TestAdminTracesExplainInjectedAnomaly(t *testing.T) {
+	a, mux := testApp(t)
+	normal := []string{
+		"bgp keepalive exchanged with peer 10.0.0.2 hold 90",
+		"interface statistics poll completed for ge-0/0/2 in 9 ms",
+		"fpc 1 cpu utilization 30 percent memory 45 percent",
+		"ntp clock synchronized to 10.9.9.9 stratum 2 offset 80 us",
+	}
+	at := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 80; i++ {
+		a.mon.HandleMessage(logfmt.Message{Time: at, Host: "vpe07", Tag: "rpd", Text: normal[i%len(normal)]})
+		at = at.Add(30 * time.Second)
+	}
+	a.mon.HandleMessage(logfmt.Message{Time: at, Host: "vpe07", Tag: "rpd",
+		Text: "invalid response from peer chassis-control session 42 retries 3"})
+
+	code, body := get(t, mux, "/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces: %d %s", code, body)
+	}
+	var page struct {
+		Total  uint64      `json:"total"`
+		Traces []obs.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatalf("decoding /traces: %v\n%s", err, body)
+	}
+	if page.Total != 1 || len(page.Traces) != 1 {
+		t.Fatalf("expected one trace, got total=%d len=%d: %s", page.Total, len(page.Traces), body)
+	}
+	tr := page.Traces[0]
+	if tr.Host != "vpe07" || tr.Model != "lstm" || tr.Cluster != 0 {
+		t.Fatalf("trace identity: %+v", tr)
+	}
+	if tr.Threshold != 4 || tr.Score <= tr.Threshold {
+		t.Fatalf("trace does not explain the verdict: score=%v threshold=%v", tr.Score, tr.Threshold)
+	}
+	if len(tr.Window) == 0 {
+		t.Fatalf("trace has no context window: %+v", tr)
+	}
+	last := tr.Window[len(tr.Window)-1]
+	if last.LogProb != -tr.Score || last.Template != tr.Template {
+		t.Fatalf("window tail does not carry the verdict log-prob: %+v vs %+v", last, tr)
+	}
+	// ?n= caps the result and bad values are rejected.
+	if _, body = get(t, mux, "/traces?n=1"); !strings.Contains(body, "vpe07") {
+		t.Fatalf("/traces?n=1: %s", body)
+	}
+	if code, _ = get(t, mux, "/traces?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("/traces?n=bogus: %d", code)
+	}
+	// The same verdict is visible on /statusz counters.
+	var doc struct {
+		Monitor ingest.MonitorStats `json:"monitor"`
+		Traces  uint64              `json:"traces_total"`
+	}
+	if _, body = get(t, mux, "/statusz"); json.Unmarshal([]byte(body), &doc) != nil {
+		t.Fatalf("decoding /statusz: %s", body)
+	}
+	if doc.Monitor.Anomalies != 1 || doc.Traces != 1 {
+		t.Fatalf("statusz counters: %+v", doc)
+	}
+}

@@ -4,15 +4,23 @@
 // as written by cmd/loggen). cmd/nfvmonitor serves the bundle against live
 // syslog.
 //
+// Training is observable instead of silent: every per-cluster detector
+// reports per-epoch loss, tokens/sec, and over-sampling-round counters
+// into a metrics registry (prefixed cluster<i>_), and with -admin the
+// registry is served live over HTTP (/metrics, /healthz, /debug/pprof) so
+// a long training run can be watched and profiled from outside.
+//
 // Usage:
 //
 //	nfvtrain -trace trace.jsonl -tickets tickets.csv -out model.bundle \
-//	         -start 2016-10-01 -months 2
+//	         -start 2016-10-01 -months 2 -admin :9091
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -22,6 +30,7 @@ import (
 	"nfvpredict/internal/eval"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/obs"
 	"nfvpredict/internal/pipeline"
 	"nfvpredict/internal/ticket"
 )
@@ -33,15 +42,37 @@ func main() {
 	startStr := flag.String("start", "", "trace start (YYYY-MM-DD; default: first message day)")
 	months := flag.Int("months", 1, "months of data to train on")
 	kMax := flag.Int("kmax", 8, "max clusters for modularity selection")
+	admin := flag.String("admin", "", "admin HTTP listen address serving /metrics, /healthz, /debug/pprof during training (empty disables)")
+	verbose := flag.Bool("v", false, "verbose (debug-level) logging")
 	flag.Parse()
 
-	if err := run(*tracePath, *ticketsPath, *out, *startStr, *months, *kMax); err != nil {
+	if err := run(*tracePath, *ticketsPath, *out, *startStr, *months, *kMax, *admin, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "nfvtrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, ticketsPath, out, startStr string, months, kMax int) error {
+func run(tracePath, ticketsPath, out, startStr string, months, kMax int, admin string, verbose bool) error {
+	level := obs.LevelInfo
+	if verbose {
+		level = obs.LevelDebug
+	}
+	log := obs.NewLogger(os.Stdout, level)
+	reg := obs.NewRegistry()
+	clustersTrained := reg.Counter("train_clusters_done_total", "Cluster detectors fully trained.")
+	trainSeconds := reg.Histogram("train_cluster_seconds",
+		"Wall time per cluster training.", obs.ExpBuckets(0.01, 4, 10))
+
+	if admin != "" {
+		ln, err := net.Listen("tcp", admin)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		srv := &http.Server{Handler: obs.NewAdminMux(obs.AdminConfig{Registry: reg})}
+		go srv.Serve(ln)
+		defer srv.Close()
+		log.Info("admin surface up", "addr", ln.Addr(), "endpoints", "/metrics /healthz /debug/pprof")
+	}
 	tf, err := os.Open(tracePath)
 	if err != nil {
 		return err
@@ -79,7 +110,7 @@ func run(tracePath, ticketsPath, out, startStr string, months, kMax int) error {
 	for h := range hosts {
 		vpes = append(vpes, h)
 	}
-	fmt.Printf("loaded %d messages from %d hosts, %d tickets\n", len(msgs), len(vpes), len(tickets))
+	log.Info("loaded trace", "messages", len(msgs), "hosts", len(vpes), "tickets", len(tickets))
 
 	ds := pipeline.BuildDatasetFromMessages(msgs, tickets, vpes, start, months)
 	cfg := pipeline.DefaultConfig()
@@ -94,7 +125,7 @@ func run(tracePath, ticketsPath, out, startStr string, months, kMax int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("clustered %d vPEs into K=%d groups\n", len(ds.VPEs), cl.K)
+	log.Info("clustered fleet", "vpes", len(ds.VPEs), "k", cl.K)
 
 	// Train one detector per cluster on all clean data in range.
 	b := &bundle.Bundle{Tree: ds.Tree, Assign: cl.Assign}
@@ -110,8 +141,9 @@ func run(tracePath, ticketsPath, out, startStr string, months, kMax int) error {
 		lcfg := cfg.LSTM
 		lcfg.Seed += int64(ci) * 101
 		det := detect.NewLSTMDetector(lcfg)
+		det.SetMetrics(reg, fmt.Sprintf("cluster%d_", ci))
 		if len(streams) == 0 {
-			fmt.Printf("cluster %d: no clean training data, skipping\n", ci)
+			log.Warn("no clean training data, skipping cluster", "cluster", ci)
 			b.Detectors = append(b.Detectors, det)
 			continue
 		}
@@ -119,7 +151,15 @@ func run(tracePath, ticketsPath, out, startStr string, months, kMax int) error {
 		if err := det.Train(streams); err != nil {
 			return fmt.Errorf("training cluster %d: %w", ci, err)
 		}
-		fmt.Printf("cluster %d: trained on %d streams in %v\n", ci, len(streams), time.Since(t0).Round(time.Millisecond))
+		trainSeconds.ObserveDuration(t0)
+		clustersTrained.Inc()
+		snap := reg.Snapshot()
+		log.Info("trained cluster", "cluster", ci, "streams", len(streams),
+			"elapsed", time.Since(t0).Round(time.Millisecond),
+			"epochs", snap.Counters[fmt.Sprintf("cluster%d_lstm_epochs_total", ci)],
+			"loss", snap.Gauges[fmt.Sprintf("cluster%d_lstm_epoch_loss", ci)],
+			"tokens_per_sec", snap.Gauges[fmt.Sprintf("cluster%d_lstm_tokens_per_sec", ci)],
+			"oversample_rounds", snap.Counters[fmt.Sprintf("cluster%d_lstm_oversample_rounds_total", ci)])
 		b.Detectors = append(b.Detectors, det)
 		// Score the training range to place the operating threshold.
 		for _, v := range cl.Members(ci) {
@@ -134,11 +174,11 @@ func run(tracePath, ticketsPath, out, startStr string, months, kMax int) error {
 		curve := eval.PRCurve(allScored, tickets, thrs, cfg.Eval, ds.MonthStart(0), endTrain)
 		best := eval.BestF(curve)
 		b.Threshold = best.Threshold
-		fmt.Printf("operating threshold %.3f (training-range P=%.2f R=%.2f F=%.2f)\n",
-			best.Threshold, best.Precision, best.Recall, best.F)
+		log.Info("operating threshold from training-range best F", "threshold", best.Threshold,
+			"precision", best.Precision, "recall", best.Recall, "f", best.F)
 	} else if len(allScored) > 0 {
 		b.Threshold = detect.ScoreQuantile(allScored, 0.999)
-		fmt.Printf("operating threshold %.3f (99.9th percentile of training scores)\n", b.Threshold)
+		log.Info("operating threshold from score quantile", "threshold", b.Threshold, "quantile", 0.999)
 	}
 
 	// Atomic save: a crash mid-write must never leave a truncated bundle
@@ -146,6 +186,6 @@ func run(tracePath, ticketsPath, out, startStr string, months, kMax int) error {
 	if err := b.SaveFile(out); err != nil {
 		return err
 	}
-	fmt.Printf("wrote bundle to %s\n", out)
+	log.Info("wrote bundle", "path", out)
 	return nil
 }

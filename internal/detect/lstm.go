@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/nn"
+	"nfvpredict/internal/obs"
 )
 
 // LSTMConfig parameterizes the LSTM detector.
@@ -83,6 +85,53 @@ type LSTMDetector struct {
 	opt     *nn.Adam
 	trainer *nn.BatchTrainer
 	rng     *rand.Rand
+	met     lstmMetrics
+}
+
+// lstmMetrics holds the detector's observability handles. All fields are
+// nil until SetMetrics attaches a registry; every operation on a nil
+// handle is a no-op, so the uninstrumented hot path pays one predictable
+// branch and nothing else (benchmarked in bench_obs_test.go).
+type lstmMetrics struct {
+	// steps / stepSeconds cover online scoring (LSTMStream.Push →
+	// StepLogProbs), the monitor's per-message hot path.
+	steps       *obs.Counter
+	stepSeconds *obs.Histogram
+	// Training-progress metrics: one epoch = one trainEpoch pass.
+	epochs       *obs.Counter
+	epochLoss    *obs.Gauge
+	epochSeconds *obs.Histogram
+	tokensPerSec *obs.Gauge
+	trainTokens  *obs.Counter
+	// oversampleRounds counts §4.2 minority-pattern over-sampling rounds
+	// actually run (the loop can exit early).
+	oversampleRounds *obs.Counter
+}
+
+// SetMetrics attaches the detector to a registry; prefix (e.g.
+// "cluster0_") namespaces multi-detector deployments, since the registry
+// is a flat namespace. Call before serving or training; passing a nil
+// registry detaches. Metric names: <prefix>lstm_steps_total,
+// <prefix>lstm_step_seconds, <prefix>lstm_epochs_total,
+// <prefix>lstm_epoch_loss, <prefix>lstm_epoch_seconds,
+// <prefix>lstm_tokens_per_sec, <prefix>lstm_train_tokens_total,
+// <prefix>lstm_oversample_rounds_total.
+func (d *LSTMDetector) SetMetrics(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		d.met = lstmMetrics{}
+		return
+	}
+	d.met = lstmMetrics{
+		steps:       reg.Counter(prefix+"lstm_steps_total", "Online scoring steps (StepLogProbs calls via LSTMStream.Push)."),
+		stepSeconds: reg.Histogram(prefix+"lstm_step_seconds", "StepLogProbs latency on the online scoring path.", obs.DurationBuckets()),
+		epochs:      reg.Counter(prefix+"lstm_epochs_total", "Training epochs completed (initial, update, adapt, over-sample)."),
+		epochLoss:   reg.Gauge(prefix+"lstm_epoch_loss", "Mean per-token log-loss of the most recent training epoch."),
+		epochSeconds: reg.Histogram(prefix+"lstm_epoch_seconds", "Wall time per training epoch.",
+			obs.ExpBuckets(0.001, 4, 10)),
+		tokensPerSec:     reg.Gauge(prefix+"lstm_tokens_per_sec", "Training throughput of the most recent epoch."),
+		trainTokens:      reg.Counter(prefix+"lstm_train_tokens_total", "Tokens consumed by training epochs."),
+		oversampleRounds: reg.Counter(prefix+"lstm_oversample_rounds_total", "§4.2 over-sampling rounds run."),
+	}
 }
 
 // NewLSTMDetector returns an untrained detector.
@@ -249,10 +298,23 @@ func (d *LSTMDetector) trainEpoch(wins [][]nn.Token) {
 		cap = d.cfg.MaxWindowsPerEpoch
 	}
 	epoch := make([][]nn.Token, cap)
+	tokens := 0
 	for k, i := range idx[:cap] {
 		epoch[k] = wins[i]
+		tokens += len(wins[i])
 	}
-	d.trainer.Train(epoch)
+	start := d.met.epochSeconds.Start()
+	loss := d.trainer.Train(epoch)
+	if !start.IsZero() {
+		elapsed := time.Since(start).Seconds()
+		d.met.epochSeconds.Observe(elapsed)
+		if elapsed > 0 {
+			d.met.tokensPerSec.Set(float64(tokens) / elapsed)
+		}
+	}
+	d.met.epochs.Inc()
+	d.met.epochLoss.Set(loss)
+	d.met.trainTokens.Add(uint64(tokens))
 }
 
 // overSampleLoop implements the §4.2 minority-pattern procedure: after
@@ -265,6 +327,7 @@ func (d *LSTMDetector) overSampleLoop(wins [][]nn.Token) {
 	}
 	prevBad := -1.0
 	for round := 0; round < d.cfg.OverSampleRounds; round++ {
+		d.met.oversampleRounds.Inc()
 		type wl struct {
 			i    int
 			loss float64

@@ -1,0 +1,54 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/obs"
+)
+
+// benchDetector trains a small LSTM detector for the streaming benchmarks.
+func benchDetector(b *testing.B) *LSTMDetector {
+	b.Helper()
+	cfg := DefaultLSTMConfig()
+	cfg.Hidden = []int{32, 32}
+	cfg.Epochs = 1
+	cfg.OverSampleRounds = 0
+	base := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	var stream []features.Event
+	for i := 0; i < 600; i++ {
+		stream = append(stream, features.Event{Time: base.Add(time.Duration(i) * 30 * time.Second), Template: i % 12})
+	}
+	d := NewLSTMDetector(cfg)
+	if err := d.Train([][]features.Event{stream}); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func benchStreamPush(b *testing.B, d *LSTMDetector) {
+	st := d.NewStream()
+	base := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Push(features.Event{Time: base.Add(time.Duration(i) * 30 * time.Second), Template: i % 12})
+	}
+}
+
+// BenchmarkStreamPush is the uninstrumented online-scoring hot path
+// (StepLogProbs behind LSTMStream.Push).
+func BenchmarkStreamPush(b *testing.B) {
+	benchStreamPush(b, benchDetector(b))
+}
+
+// BenchmarkStreamPushInstrumented is the same path with a live registry
+// attached: one step counter, one latency histogram (two clock reads).
+// Comparing against BenchmarkStreamPush bounds the instrumentation
+// overhead — the acceptance budget is ≤5% on a ~20µs step.
+func BenchmarkStreamPushInstrumented(b *testing.B) {
+	d := benchDetector(b)
+	d.SetMetrics(obs.NewRegistry(), "")
+	benchStreamPush(b, d)
+}

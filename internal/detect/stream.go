@@ -89,7 +89,10 @@ func (s *LSTMStream) Push(e features.Event) float64 {
 	tok := nn.Token{ID: s.det.vocab.Class(e.Template), Gap: gap}
 	var score float64
 	if s.started {
+		t0 := s.det.met.stepSeconds.Start()
 		lp := s.det.model.StepLogProbs(s.pending, s.st)
+		s.det.met.stepSeconds.ObserveDuration(t0)
+		s.det.met.steps.Inc()
 		score = -lp[tok.ID]
 	}
 	s.pending = tok

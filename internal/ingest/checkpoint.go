@@ -10,6 +10,7 @@ import (
 
 	"nfvpredict/internal/atomicfile"
 	"nfvpredict/internal/detect"
+	"nfvpredict/internal/obs"
 	"nfvpredict/internal/sigtree"
 	"nfvpredict/internal/wireframe"
 )
@@ -54,6 +55,7 @@ type checkpointWire struct {
 // resumes scoring mid-stream instead of cold. The snapshot is taken under
 // the monitor lock (a consistent cut); encoding happens outside it.
 func (m *Monitor) Checkpoint(w io.Writer) error {
+	start := m.ckptSeconds.Start()
 	var wf checkpointWire
 	m.mu.Lock()
 	var tb bytes.Buffer
@@ -73,8 +75,8 @@ func (m *Monitor) Checkpoint(w io.Writer) error {
 		wf.Hosts = append(wf.Hosts, hw)
 	}
 	wf.Warnings = append([]detect.Warning(nil), m.warnings...)
-	wf.Messages, wf.Anoms = m.messages, m.anoms
-	wf.Evicted, wf.Swaps = m.evicted, m.swaps
+	wf.Messages, wf.Anoms = m.messages.Value(), m.anoms.Value()
+	wf.Evicted, wf.Swaps = m.evicted.Value(), m.swaps.Value()
 	m.mu.Unlock()
 
 	wf.SavedAt = time.Now()
@@ -85,6 +87,8 @@ func (m *Monitor) Checkpoint(w io.Writer) error {
 	if err := wireframe.Encode(w, CheckpointMagic, CheckpointVersion, payload.Bytes()); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	m.ckptSeconds.ObserveDuration(start)
+	m.ckptSaves.Inc()
 	return nil
 }
 
@@ -126,15 +130,22 @@ func RestoreMonitor(r io.Reader, cfg MonitorConfig, resolve func(host string) *d
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: host %q: %w", hw.Host, err)
 		}
-		hs := &hostState{host: hw.Host, stream: st}
+		hs := &hostState{host: hw.Host, model: det.Name(), stream: st}
+		if m.cfg.Traces != nil {
+			hs.recent = make([]obs.TraceStep, m.cfg.TraceWindow)
+		}
 		if hw.HasCluster {
 			hs.cluster = &clusterState{first: hw.First, last: hw.Last, size: hw.Size, reported: hw.Reported}
 		}
 		m.hosts[hw.Host] = m.lru.PushFront(hs)
 	}
 	m.warnings = wf.Warnings
-	m.messages, m.anoms = wf.Messages, wf.Anoms
-	m.evicted, m.swaps = wf.Evicted, wf.Swaps
+	m.messages.Store(wf.Messages)
+	m.anoms.Store(wf.Anoms)
+	m.warningsC.Store(uint64(len(wf.Warnings)))
+	m.evicted.Store(wf.Evicted)
+	m.swaps.Store(wf.Swaps)
+	m.activeHosts.SetInt(m.lru.Len())
 	return m, nil
 }
 

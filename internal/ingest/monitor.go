@@ -8,6 +8,7 @@ import (
 	"nfvpredict/internal/detect"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/obs"
 	"nfvpredict/internal/sigtree"
 )
 
@@ -27,12 +28,36 @@ type MonitorConfig struct {
 	// unbounded growth. An evicted host that reappears starts a cold
 	// stream.
 	MaxHosts int
+
+	// Metrics, when set, is the registry the monitor reports into
+	// (counters mirror Stats(); latency and score histograms are only
+	// maintained when a registry is attached, so an uninstrumented
+	// monitor never reads the clock per message). When nil the monitor
+	// keeps its counters on a private registry so Stats() still works.
+	Metrics *obs.Registry
+	// Traces, when set, receives one decision trace per anomaly verdict —
+	// the per-window log-probabilities, template IDs, threshold, and
+	// cluster/model identity that explain the verdict. Nil disables
+	// tracing (and the per-host context windows that feed it).
+	Traces *obs.TraceRing
+	// TraceWindow is how many recent messages of context each trace
+	// carries (including the flagged one); 0 means DefaultTraceWindow.
+	TraceWindow int
+	// ClusterOf, when set, maps a host to its model's cluster index for
+	// trace identity (bundle deployments pass the bundle assignment);
+	// unmapped or nil reports cluster -1.
+	ClusterOf func(host string) int
 }
 
 // DefaultMaxHosts bounds per-host monitor state when MonitorConfig.MaxHosts
 // is unset. The paper's fleet is ~2.5k vPEs; 8192 leaves generous headroom
 // while keeping worst-case memory finite.
 const DefaultMaxHosts = 8192
+
+// DefaultTraceWindow is the per-trace context length when
+// MonitorConfig.TraceWindow is unset: enough to see the §5.1 one-minute
+// anomaly cluster forming without bloating the ring.
+const DefaultTraceWindow = 8
 
 // DefaultMonitorConfig returns the paper's warning-clustering parameters
 // with a placeholder threshold of 6 (≈ e^-6 next-template likelihood).
@@ -81,10 +106,23 @@ type Monitor struct {
 	hosts    map[string]*list.Element
 	lru      *list.List // of *hostState; front = most recently seen
 	warnings []detect.Warning
-	messages uint64
-	anoms    uint64
-	evicted  uint64
-	swaps    uint64
+
+	// Counters live on the registry (cfg.Metrics, or a private one) so the
+	// same numbers appear in Stats(), logs, and /metrics with no double
+	// bookkeeping; Checkpoint/Restore move their values wholesale.
+	messages  *obs.Counter
+	anoms     *obs.Counter
+	warningsC *obs.Counter
+	evicted   *obs.Counter
+	swaps     *obs.Counter
+	// activeHosts mirrors lru.Len() for scraping; histograms are nil (and
+	// free) when no registry was attached.
+	activeHosts   *obs.Gauge
+	handleSeconds *obs.Histogram
+	learnSeconds  *obs.Histogram
+	scoreHist     *obs.Histogram
+	ckptSaves     *obs.Counter
+	ckptSeconds   *obs.Histogram
 }
 
 // hostState is everything the monitor remembers about one vPE: its scoring
@@ -92,8 +130,15 @@ type Monitor struct {
 // die together under the LRU so eviction cannot leave half a host behind.
 type hostState struct {
 	host    string
+	model   string
 	stream  *detect.LSTMStream
 	cluster *clusterState // nil until the host's first anomaly
+
+	// recent is a fixed ring of the host's latest scored messages, the
+	// context window copied into a decision trace when a verdict fires.
+	// Only maintained when tracing is enabled.
+	recent []obs.TraceStep
+	nSeen  int // total steps recorded into recent
 }
 
 // clusterState tracks the in-progress anomaly cluster of one vPE.
@@ -123,7 +168,10 @@ func NewMonitorWithResolver(cfg MonitorConfig, tree *sigtree.Tree, resolve func(
 	if cfg.MaxHosts <= 0 {
 		cfg.MaxHosts = DefaultMaxHosts
 	}
-	return &Monitor{
+	if cfg.TraceWindow <= 0 {
+		cfg.TraceWindow = DefaultTraceWindow
+	}
+	m := &Monitor{
 		cfg:       cfg,
 		tree:      tree,
 		resolve:   resolve,
@@ -131,24 +179,94 @@ func NewMonitorWithResolver(cfg MonitorConfig, tree *sigtree.Tree, resolve func(
 		hosts:     make(map[string]*list.Element),
 		lru:       list.New(),
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m.messages = reg.Counter("monitor_messages_total", "Messages ingested by the monitor.")
+	m.anoms = reg.Counter("monitor_anomalies_total", "Messages scored above the anomaly threshold.")
+	m.warningsC = reg.Counter("monitor_warnings_total", "Warning signatures emitted (§5.1 clustering rule).")
+	m.evicted = reg.Counter("monitor_evicted_hosts_total", "Per-host states evicted to honor MaxHosts.")
+	m.swaps = reg.Counter("monitor_model_swaps_total", "Successful SwapModel hot reloads.")
+	m.activeHosts = reg.Gauge("monitor_active_hosts", "Per-host states currently held.")
+	m.ckptSaves = reg.Counter("monitor_checkpoint_saves_total", "Successful Checkpoint snapshots written.")
+	if cfg.Metrics != nil {
+		m.ckptSeconds = reg.Histogram("monitor_checkpoint_seconds",
+			"Checkpoint snapshot+encode latency.", obs.DurationBuckets())
+		m.handleSeconds = reg.Histogram("monitor_handle_seconds",
+			"End-to-end HandleMessage latency (template match + LSTM step + clustering).",
+			obs.DurationBuckets())
+		m.learnSeconds = reg.Histogram("monitor_sigtree_learn_seconds",
+			"Signature-tree Learn (template match/grow) latency.",
+			obs.DurationBuckets())
+		m.scoreHist = reg.Histogram("monitor_score",
+			"Anomaly scores (negative log-likelihood) of scored messages.",
+			obs.LinearBuckets(0.5, 0.5, 20))
+	}
+	return m
 }
 
 // HandleMessage ingests one parsed syslog message.
 func (m *Monitor) HandleMessage(msg logfmt.Message) {
+	start := m.handleSeconds.Start()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.messages++
+	defer m.handleSeconds.ObserveDuration(start)
+	m.messages.Inc()
+	t0 := m.learnSeconds.Start()
 	tpl := m.tree.Learn(msg.Text)
+	m.learnSeconds.ObserveDuration(t0)
 	hs := m.hostFor(msg.Host)
 	if hs == nil {
 		return // no model for this host yet
 	}
 	score := hs.stream.Push(features.Event{Time: msg.Time, Template: tpl.ID})
+	m.scoreHist.Observe(score)
+	if m.cfg.Traces != nil {
+		hs.record(obs.TraceStep{Time: msg.Time, Template: tpl.ID, LogProb: -score})
+	}
 	if score <= m.cfg.Threshold {
 		return
 	}
-	m.anoms++
-	m.observeAnomaly(hs, msg.Time)
+	m.anoms.Inc()
+	size, warned := m.observeAnomaly(hs, msg.Time)
+	if m.cfg.Traces != nil {
+		cluster := -1
+		if m.cfg.ClusterOf != nil {
+			cluster = m.cfg.ClusterOf(msg.Host)
+		}
+		m.cfg.Traces.Add(obs.Trace{
+			Time:        msg.Time,
+			Host:        msg.Host,
+			Cluster:     cluster,
+			Model:       hs.model,
+			Template:    tpl.ID,
+			Score:       score,
+			Threshold:   m.cfg.Threshold,
+			Window:      hs.window(),
+			ClusterSize: size,
+			Warning:     warned,
+		})
+	}
+}
+
+// record appends one scored message to the host's fixed context ring.
+func (hs *hostState) record(step obs.TraceStep) {
+	hs.recent[hs.nSeen%len(hs.recent)] = step
+	hs.nSeen++
+}
+
+// window copies the host's context ring out, oldest first.
+func (hs *hostState) window() []obs.TraceStep {
+	n := hs.nSeen
+	if n > len(hs.recent) {
+		n = len(hs.recent)
+	}
+	out := make([]obs.TraceStep, n)
+	for i := 0; i < n; i++ {
+		out[i] = hs.recent[(hs.nSeen-n+i)%len(hs.recent)]
+	}
+	return out
 }
 
 // hostFor returns the (possibly new) state for host, refreshing its LRU
@@ -167,25 +285,31 @@ func (m *Monitor) hostFor(host string) *hostState {
 	if st == nil {
 		return nil // detector not trained yet
 	}
-	hs := &hostState{host: host, stream: st}
+	hs := &hostState{host: host, model: det.Name(), stream: st}
+	if m.cfg.Traces != nil {
+		hs.recent = make([]obs.TraceStep, m.cfg.TraceWindow)
+	}
 	m.hosts[host] = m.lru.PushFront(hs)
 	for m.lru.Len() > m.cfg.MaxHosts {
 		oldest := m.lru.Back()
 		old := oldest.Value.(*hostState)
 		m.lru.Remove(oldest)
 		delete(m.hosts, old.host)
-		m.evicted++
+		m.evicted.Inc()
 	}
+	m.activeHosts.SetInt(m.lru.Len())
 	return hs
 }
 
-// observeAnomaly advances the host's cluster state and emits a warning
-// when a cluster reaches the minimum size (once per cluster).
-func (m *Monitor) observeAnomaly(hs *hostState, at time.Time) {
+// observeAnomaly advances the host's cluster state, emitting a warning
+// when a cluster reaches the minimum size (once per cluster). It returns
+// the cluster size after this anomaly and whether this verdict emitted the
+// warning.
+func (m *Monitor) observeAnomaly(hs *hostState, at time.Time) (size int, warned bool) {
 	cs := hs.cluster
 	if cs == nil || at.Sub(cs.last) > m.cfg.ClusterWindow {
 		hs.cluster = &clusterState{first: at, last: at, size: 1}
-		return
+		return 1, false
 	}
 	cs.last = at
 	cs.size++
@@ -193,10 +317,13 @@ func (m *Monitor) observeAnomaly(hs *hostState, at time.Time) {
 		cs.reported = true
 		w := detect.Warning{VPE: hs.host, Time: cs.first, Size: cs.size}
 		m.warnings = append(m.warnings, w)
+		m.warningsC.Inc()
 		if m.onWarning != nil {
 			m.onWarning(w)
 		}
+		return cs.size, true
 	}
+	return cs.size, false
 }
 
 // SwapModel atomically replaces the serving model — signature tree,
@@ -215,7 +342,17 @@ func (m *Monitor) SwapModel(tree *sigtree.Tree, resolve func(host string) *detec
 	}
 	m.hosts = make(map[string]*list.Element)
 	m.lru = list.New()
-	m.swaps++
+	m.activeHosts.SetInt(0)
+	m.swaps.Inc()
+}
+
+// SetClusterOf replaces the host→cluster mapping used for trace identity,
+// typically alongside SwapModel when a reloaded bundle re-clusters the
+// fleet.
+func (m *Monitor) SetClusterOf(clusterOf func(host string) int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg.ClusterOf = clusterOf
 }
 
 // Warnings returns a copy of all warnings emitted so far.
@@ -229,21 +366,28 @@ func (m *Monitor) Warnings() []detect.Warning {
 
 // Counters returns (messages ingested, anomalies flagged).
 func (m *Monitor) Counters() (messages, anomalies uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.messages, m.anoms
+	return m.messages.Value(), m.anoms.Value()
 }
 
-// Stats returns a snapshot of all monitor counters.
+// Threshold returns the current operating threshold (which SwapModel may
+// have updated since construction).
+func (m *Monitor) Threshold() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.Threshold
+}
+
+// Stats returns a snapshot of all monitor counters — a thin view over the
+// same registry counters exported at /metrics.
 func (m *Monitor) Stats() MonitorStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return MonitorStats{
-		Messages:     m.messages,
-		Anomalies:    m.anoms,
-		Warnings:     uint64(len(m.warnings)),
-		EvictedHosts: m.evicted,
-		ModelSwaps:   m.swaps,
+		Messages:     m.messages.Value(),
+		Anomalies:    m.anoms.Value(),
+		Warnings:     m.warningsC.Value(),
+		EvictedHosts: m.evicted.Value(),
+		ModelSwaps:   m.swaps.Value(),
 		ActiveHosts:  m.lru.Len(),
 	}
 }

@@ -15,10 +15,10 @@ import (
 	"net"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/obs"
 )
 
 // ServerConfig configures the listeners.
@@ -33,6 +33,12 @@ type ServerConfig struct {
 	QueueSize int
 	// MaxLine bounds a single TCP-framed message.
 	MaxLine int
+	// Metrics, when set, is the registry the server reports into: the
+	// Stats counters plus a dispatch-latency histogram and a queue-depth
+	// gauge (the latter two only exist when a registry is attached, so an
+	// uninstrumented server never reads the clock per message). When nil
+	// the counters live on a private registry and Stats() still works.
+	Metrics *obs.Registry
 }
 
 // DefaultServerConfig returns loopback-friendly defaults.
@@ -79,10 +85,15 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	received   atomic.Uint64
-	malformed  atomic.Uint64
-	dropped    atomic.Uint64
-	sinkPanics atomic.Uint64
+	// Counters live on the registry (cfg.Metrics, or a private one) so
+	// Stats(), logs, and /metrics report the same numbers with no double
+	// bookkeeping.
+	received        *obs.Counter
+	malformed       *obs.Counter
+	dropped         *obs.Counter
+	sinkPanics      *obs.Counter
+	dispatchSeconds *obs.Histogram
+	queueDepth      *obs.Gauge
 }
 
 // NewServer creates a server delivering parsed messages to sink.
@@ -105,6 +116,19 @@ func NewServer(cfg ServerConfig, sink func(logfmt.Message)) (*Server, error) {
 		queue:  make(chan logfmt.Message, cfg.QueueSize),
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.received = reg.Counter("ingest_received_total", "Well-formed syslog messages accepted.")
+	s.malformed = reg.Counter("ingest_malformed_total", "Lines or frames that failed to parse.")
+	s.dropped = reg.Counter("ingest_dropped_total", "Messages discarded on queue overflow.")
+	s.sinkPanics = reg.Counter("ingest_sink_panics_total", "Sink panics recovered by the dispatcher.")
+	if cfg.Metrics != nil {
+		s.dispatchSeconds = reg.Histogram("ingest_dispatch_seconds",
+			"Sink latency per dispatched message.", obs.DurationBuckets())
+		s.queueDepth = reg.Gauge("ingest_queue_depth", "Parsed messages waiting in the dispatch queue.")
 	}
 	if cfg.UDPAddr != "" {
 		addr, err := net.ResolveUDPAddr("udp", cfg.UDPAddr)
@@ -150,13 +174,14 @@ func (s *Server) TCPAddr() net.Addr {
 	return s.tcp.Addr()
 }
 
-// Stats returns a snapshot of the server counters.
+// Stats returns a snapshot of the server counters — a thin view over the
+// same registry counters exported at /metrics.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Received:   s.received.Load(),
-		Malformed:  s.malformed.Load(),
-		Dropped:    s.dropped.Load(),
-		SinkPanics: s.sinkPanics.Load(),
+		Received:   s.received.Value(),
+		Malformed:  s.malformed.Value(),
+		Dropped:    s.dropped.Value(),
+		SinkPanics: s.sinkPanics.Value(),
 	}
 }
 
@@ -270,10 +295,13 @@ func (s *Server) dispatch() {
 // ingestion keeps running — the monitor must degrade, not die (§1 runs the
 // system continuously beside reactive monitoring).
 func (s *Server) deliver(m logfmt.Message) {
+	s.queueDepth.SetInt(len(s.queue))
+	start := s.dispatchSeconds.Start()
 	defer func() {
 		if r := recover(); r != nil {
 			s.sinkPanics.Add(1)
 		}
+		s.dispatchSeconds.ObserveDuration(start)
 	}()
 	s.sink(m)
 }

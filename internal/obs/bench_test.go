@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// The Registry benchmarks double as the `make ci` smoke run
+// (-bench Registry -benchtime=1x): they prove the hot-path primitives stay
+// allocation-free on both the live and the no-op (nil handle) paths. The
+// hard assertion lives in TestHotPathAllocFree; these give the numbers.
+
+func BenchmarkRegistryCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkRegistryCounterIncNop(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkRegistryHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", "", DurationBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkRegistryHistogramObserveNop(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkRegistryHistogramTimed(b *testing.B) {
+	h := NewRegistry().Histogram("h", "", DurationBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(h.Start())
+	}
+}
+
+func BenchmarkRegistryTraceRingAdd(b *testing.B) {
+	ring := NewTraceRing(256)
+	tr := Trace{Host: "vpe01", Score: 7, Threshold: 6, Time: time.Now()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ring.Add(tr)
+	}
+}
+
+func BenchmarkRegistryPrometheusExposition(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		r.Counter("counter_"+string(rune('a'+i))+"_total", "help").Add(uint64(i))
+		r.Histogram("hist_"+string(rune('a'+i)), "help", DurationBuckets()).Observe(float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.WritePrometheus(io.Discard)
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+)
+
+// Health tracks the process's liveness/readiness for the admin endpoints.
+// Liveness means "the process is serving" (true from construction);
+// readiness can be flipped off — with a reason — when the serving state is
+// degraded, e.g. a bundle hot-reload failed validation and the monitor is
+// still serving the previous model. All methods are safe for concurrent
+// use; a nil Health reads as alive and ready.
+type Health struct {
+	mu     sync.Mutex
+	ready  bool
+	reason string
+}
+
+// NewHealth returns a Health that starts ready.
+func NewHealth() *Health { return &Health{ready: true} }
+
+// SetReady marks the process ready (reason ignored) or unready for the
+// given reason.
+func (h *Health) SetReady(ready bool, reason string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ready = ready
+	if ready {
+		reason = ""
+	}
+	h.reason = reason
+	h.mu.Unlock()
+}
+
+// Ready returns the readiness state and, when unready, the reason.
+func (h *Health) Ready() (bool, string) {
+	if h == nil {
+		return true, ""
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready, h.reason
+}
+
+// AdminConfig assembles the admin surface. Any field may be nil/zero; the
+// corresponding endpoint degrades gracefully (empty metrics, empty traces,
+// always-ready health, `{}` status).
+type AdminConfig struct {
+	// Registry backs /metrics (Prometheus text; ?format=json for the JSON
+	// exposition).
+	Registry *Registry
+	// Traces backs /traces (?n=50 limits the count, newest first).
+	Traces *TraceRing
+	// Health backs /healthz and /readyz: both return 503 with the reason
+	// while unready, 200 otherwise. /healthz answers "is the process
+	// serving and not degraded"; /readyz is the load-balancer form of the
+	// same state.
+	Health *Health
+	// Status returns the /statusz document; it is JSON-marshaled per
+	// request so the snapshot is always current.
+	Status func() any
+}
+
+// NewAdminMux builds the admin HTTP handler: /metrics, /statusz, /traces,
+// /healthz, /readyz, and the pprof suite under /debug/pprof/. It is its
+// own mux (never http.DefaultServeMux) so importing this package does not
+// leak handlers into unrelated servers.
+func NewAdminMux(cfg AdminConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			cfg.Registry.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.Registry.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var doc any = struct{}{}
+		if cfg.Status != nil {
+			doc = cfg.Status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "traces: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		traces := cfg.Traces.Recent(n)
+		if traces == nil {
+			traces = []Trace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Total  uint64  `json:"total"`
+			Traces []Trace `json:"traces"`
+		}{cfg.Traces.Total(), traces})
+	})
+
+	health := func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := cfg.Health.Ready(); !ok {
+			http.Error(w, "unready: "+reason, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}
+	mux.HandleFunc("/healthz", health)
+	mux.HandleFunc("/readyz", health)
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

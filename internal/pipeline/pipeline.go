@@ -9,6 +9,7 @@ import (
 	"nfvpredict/internal/detect"
 	"nfvpredict/internal/eval"
 	"nfvpredict/internal/features"
+	"nfvpredict/internal/obs"
 )
 
 // Variant selects one of the Figure 7 system configurations.
@@ -88,6 +89,12 @@ type Config struct {
 	SweepPoints int
 	// Parallelism bounds concurrent per-vPE scoring; ≤0 = serial.
 	Parallelism int
+	// Metrics, when set, makes the run observable: per-cluster LSTM
+	// detectors report epochs/loss/throughput under a cluster<i>_ prefix,
+	// and the walk-forward loop counts trainings, updates, adaptations,
+	// and retrains. Nil (the default) keeps the run entirely
+	// uninstrumented.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper-faithful configuration for the
@@ -156,7 +163,11 @@ func (c *Config) newDetector(clusterIdx int) (detect.Detector, error) {
 			// parallelism (batch gradients, loss evaluation).
 			cfg.Parallelism = c.Parallelism
 		}
-		return detect.NewLSTMDetector(cfg), nil
+		d := detect.NewLSTMDetector(cfg)
+		if c.Metrics != nil {
+			d.SetMetrics(c.Metrics, fmt.Sprintf("cluster%d_", clusterIdx))
+		}
+		return d, nil
 	case MethodAutoencoder:
 		cfg := c.AE
 		cfg.Seed += int64(clusterIdx) * 101
@@ -179,6 +190,16 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("pipeline: need at least 2 months, got %d", ds.Months)
 	}
 	res := &Result{}
+
+	// Walk-forward phase counters; all handles are nil (no-op) when
+	// cfg.Metrics is nil.
+	trainings := cfg.Metrics.Counter("pipeline_trainings_total", "Per-cluster initial trainings completed.")
+	updates := cfg.Metrics.Counter("pipeline_updates_total", "Per-cluster monthly incremental updates completed.")
+	adapts := cfg.Metrics.Counter("pipeline_adaptations_total", "Transfer-learning adaptations run after drift detection.")
+	retrains := cfg.Metrics.Counter("pipeline_retrains_total", "Full from-scratch retrains (non-adaptive drift fallback).")
+	monthGauge := cfg.Metrics.Gauge("pipeline_month", "Walk-forward month currently being scored.")
+	trainSeconds := cfg.Metrics.Histogram("pipeline_train_seconds",
+		"Wall time of per-cluster training phases (train/retrain).", obs.ExpBuckets(0.01, 4, 10))
 
 	// --- Clustering on month-0 histograms (§4.3) -----------------------
 	hists := make(map[string]cluster.Histogram, len(ds.VPEs))
@@ -217,9 +238,12 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 		if len(streams) == 0 {
 			return nil
 		}
+		start := trainSeconds.Start()
 		if err := dets[ci].Train(streams); err != nil {
 			return fmt.Errorf("pipeline: initial training cluster %d: %w", ci, err)
 		}
+		trainSeconds.ObserveDuration(start)
+		trainings.Inc()
 		return nil
 	})
 	if err != nil {
@@ -231,6 +255,7 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 	retrainAt := make([]int, res.Clusters.K) // month of scheduled full retrain (0 = none)
 	for m := 1; m < ds.Months; m++ {
 		monthFrom, monthTo := ds.MonthStart(m), ds.MonthStart(m+1)
+		monthGauge.SetInt(m)
 		adaptsThisMonth := make([]int, res.Clusters.K)
 
 		// Score month m in ~3.5-day segments. The adaptive variant checks
@@ -276,6 +301,7 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 					if err := dets[ci].Adapt(streams); err != nil {
 						return fmt.Errorf("pipeline: adapt cluster %d month %d: %w", ci, m, err)
 					}
+					adapts.Inc()
 					adaptsThisMonth[ci]++
 					return nil
 				})
@@ -341,9 +367,12 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 						}
 					}
 					if len(streams) > 0 {
+						start := trainSeconds.Start()
 						if err := dets[ci].Train(streams); err != nil {
 							return fmt.Errorf("pipeline: retrain cluster %d month %d: %w", ci, m, err)
 						}
+						trainSeconds.ObserveDuration(start)
+						retrains.Inc()
 						return nil
 					}
 				}
@@ -355,6 +384,7 @@ func Run(ds *Dataset, cfg Config) (*Result, error) {
 			if err := dets[ci].Update(streams); err != nil {
 				return fmt.Errorf("pipeline: update cluster %d month %d: %w", ci, m, err)
 			}
+			updates.Inc()
 			return nil
 		})
 		if err != nil {
