@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race ci bench bench-nn bench-pipeline bench-obs figures
+.PHONY: build test test-race ci bench bench-nn bench-pipeline bench-obs bench-serving bench-json figures
 
 build:
 	$(GO) build ./...
@@ -9,29 +9,52 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent paths: data-parallel gradient
-# workers, per-cluster training fan-out, concurrent scoring, the ingest
+# workers, per-cluster training fan-out, concurrent scoring, shard worker
+# lifecycle (start/stop/restart under concurrent enqueue), the ingest
 # server (sink-panic recovery, close-during-frame), and the checkpoint /
 # fault-injection suites.
 test-race:
 	$(GO) test -race ./internal/...
 
 # Full gate: what a CI job runs. Vet, build, the whole test suite, the
-# race pass over the concurrent packages, and a benchmark smoke run that
-# reports the metrics hot path's allocation counts (the hard 0 allocs/op
-# assertion is TestHotPathAllocFree, which runs with the suite).
+# race pass over the concurrent packages (which covers the shard
+# lifecycle tests), and benchmark smoke runs: the metrics hot path and
+# the batched scoring kernels (batched LSTM step, blocked matvec). The
+# hard 0 allocs/op assertions are TestHotPathAllocFree and
+# TestScoringHotPathAllocFree, which run with the suite.
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) test-race
 	$(GO) test ./internal/obs/ -run XXX -bench Registry -benchtime=1x -benchmem
+	$(GO) test ./internal/nn/ -run XXX -bench 'StepLogProbsBatch' -benchtime=1x -benchmem
+	$(GO) test ./internal/mat/ -run XXX -bench 'MulMatAdd|MulVecAdd' -benchtime=1x -benchmem
 
-bench: bench-nn bench-pipeline bench-obs
+bench: bench-nn bench-pipeline bench-obs bench-serving
 
 bench-nn:
 	$(GO) test ./internal/nn/ -run XXX -bench . -benchmem
 
 bench-pipeline:
 	$(GO) test ./internal/pipeline/ -run XXX -bench . -benchmem -benchtime 3x
+
+# Serving-path benchmarks: end-to-end HandleMessage cost, the paired
+# sharded-throughput benchmark (shards=1/4/8 under RunParallel), and the
+# serialized fraction (signature-tree learn under treeMu) that bounds
+# multi-core scaling.
+bench-serving:
+	$(GO) test ./internal/ingest/ -run XXX -bench 'MonitorHandleMessage|MonitorParallel|ShardSerialSection|ShardTokenize' -benchmem
+
+# Machine-readable serving benchmarks: runs the scoring-path benchmarks
+# (monitor, batched LSTM step, matvec kernels) and converts the output to
+# BENCH_serving.json via cmd/benchjson (ns/op, B/op, allocs/op, and a
+# derived msgs_per_sec = 1e9/ns for the per-message benchmarks).
+bench-json:
+	{ $(GO) test ./internal/ingest/ -run XXX -bench 'MonitorHandleMessage|MonitorParallel|ShardSerialSection' -benchmem ; \
+	  $(GO) test ./internal/nn/ -run XXX -bench 'StepLogProbs' -benchmem ; \
+	  $(GO) test ./internal/mat/ -run XXX -bench 'MulVecAdd|MulMatAdd' -benchmem ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_serving.json
+	@echo wrote BENCH_serving.json
 
 figures:
 	$(GO) run ./cmd/figures -fig all

@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array on stdout, one object per benchmark result line.
+//
+// Each object carries the benchmark name (with the -GOMAXPROCS suffix
+// stripped), the iteration count, every "value unit" pair the benchmark
+// reported (ns/op, B/op, allocs/op, and any custom ReportMetric units),
+// and a derived msgs_per_sec = 1e9 / ns_per_op for throughput-style
+// benchmarks where one iteration scores one message.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson > BENCH_serving.json
+//
+// Non-benchmark lines (goos/goarch headers, PASS/ok trailers) are ignored,
+// so piping full `go test` output is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MsgsPerSec  float64 `json:"msgs_per_sec,omitempty"`
+
+	// Extra holds any "value unit" pairs beyond the three standard ones,
+	// e.g. MB/s from SetBytes or custom ReportMetric units.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   500000   4412 ns/op   464 B/op   15 allocs/op
+//
+// and reports ok=false for anything that does not look like one.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix so names are stable across hosts.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+			if val > 0 {
+				r.MsgsPerSec = 1e9 / val
+			}
+		case "B/op":
+			r.BPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = val
+		}
+	}
+	return r, true
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}

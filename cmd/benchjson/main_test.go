@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkMonitorHandleMessage-8 \t  500000\t      4412 ns/op\t     464 B/op\t      15 allocs/op")
+	if !ok {
+		t.Fatal("expected a benchmark line to parse")
+	}
+	if r.Name != "BenchmarkMonitorHandleMessage" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", r.Name)
+	}
+	if r.Iterations != 500000 || r.NsPerOp != 4412 || r.BPerOp != 464 || r.AllocsPerOp != 15 {
+		t.Errorf("parsed %+v", r)
+	}
+	want := 1e9 / 4412.0
+	if r.MsgsPerSec != want {
+		t.Errorf("msgs_per_sec = %v, want %v", r.MsgsPerSec, want)
+	}
+}
+
+func TestParseLineCustomUnit(t *testing.T) {
+	r, ok := parseLine("BenchmarkStreamPush 	 1000000	      2000 ns/op	        12.50 MB/s")
+	if !ok {
+		t.Fatal("expected parse")
+	}
+	if r.Extra["MB/s"] != 12.5 {
+		t.Errorf("extra = %v", r.Extra)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	nfvpredict/internal/ingest	6.692s",
+		"BenchmarkBroken abc 123 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted noise", line)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -57,6 +58,7 @@ type options struct {
 	threshold float64
 	year      int
 	seed      int64
+	shards    int
 	model     string
 	ckpt      string
 	ckptEvery time.Duration
@@ -72,6 +74,7 @@ func main() {
 	flag.Float64Var(&o.threshold, "threshold", 6, "anomaly threshold (negative log-likelihood; overridden by a bundle's recommendation)")
 	flag.IntVar(&o.year, "year", time.Now().Year(), "year for RFC 3164 timestamps")
 	flag.Int64Var(&o.seed, "seed", 1, "bootstrap-simulation seed (when no -model)")
+	flag.IntVar(&o.shards, "shards", 0, "scoring shards: hosts are hashed onto shards, each owning its vPEs' LSTM streams and scored by its own worker (0 = GOMAXPROCS)")
 	flag.StringVar(&o.model, "model", "", "trained bundle from cmd/nfvtrain (empty: bootstrap on simulation); SIGHUP hot-reloads it")
 	flag.StringVar(&o.ckpt, "checkpoint", "", "checkpoint file: online state is saved here periodically and restored at startup (empty disables)")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-interval", time.Minute, "how often to write the checkpoint")
@@ -345,6 +348,10 @@ func run(o options) error {
 	mcfg.Metrics = a.reg
 	mcfg.Traces = a.traces
 	mcfg.ClusterOf = clusterOf
+	mcfg.Shards = o.shards
+	if mcfg.Shards <= 0 {
+		mcfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	onWarning := func(w nfvpredict.Warning) {
 		a.log.Warn("warning signature", "vpe", w.VPE, "anomalies", w.Size, "first", w.Time)
 	}
@@ -375,15 +382,21 @@ func run(o options) error {
 	scfg := ingest.DefaultServerConfig()
 	scfg.UDPAddr, scfg.TCPAddr, scfg.Year = o.udp, o.tcp, o.year
 	scfg.Metrics = a.reg
-	srv, err := ingest.NewServer(scfg, a.mon.HandleMessage)
+	// The listeners route each parsed message straight to its host's shard
+	// queue; shard workers do the scoring (batching distinct hosts).
+	scfg.Sharded = a.mon
+	srv, err := ingest.NewServer(scfg, nil)
 	if err != nil {
 		return err
 	}
 	a.srv = srv
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	a.mon.Start()
+	defer a.mon.Stop()
 	srv.Start(ctx)
 	defer srv.Close()
+	a.log.Info("scoring shards up", "shards", a.mon.ShardCount())
 	if addr := srv.UDPAddr(); addr != nil {
 		a.log.Info("listening", "proto", "udp", "addr", addr)
 	}
@@ -429,6 +442,10 @@ func run(o options) error {
 	for {
 		select {
 		case <-ctx.Done():
+			// Stop the listeners, drain the shard queues, then checkpoint
+			// the fully-drained state.
+			srv.Close()
+			a.mon.Stop()
 			a.saveCheckpoint(o.ckpt, "shutdown")
 			mst := a.mon.Stats()
 			st := srv.Stats()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"nfvpredict/internal/atomicfile"
@@ -52,34 +53,57 @@ type checkpointWire struct {
 // Checkpoint snapshots the monitor's full online state — the grown
 // signature tree, every host's recurrent scoring stream, in-progress
 // anomaly clusters, warning history, and counters — so a restarted monitor
-// resumes scoring mid-stream instead of cold. The snapshot is taken under
-// the monitor lock (a consistent cut); encoding happens outside it.
+// resumes scoring mid-stream instead of cold. The snapshot is taken with
+// every shard mutex held (a consistent cut across shards); encoding
+// happens outside the locks.
+//
+// Hosts are emitted in global least-recently-seen order (each host carries
+// a recency stamp, Monitor.seq), so the bytes a single-caller monitor
+// checkpoints are identical at any shard count — and identical to the
+// historical single-shard format.
 func (m *Monitor) Checkpoint(w io.Writer) error {
 	start := m.ckptSeconds.Start()
 	var wf checkpointWire
-	m.mu.Lock()
+	type stamped struct {
+		hw  hostWire
+		seq uint64
+	}
+	m.lockAll()
+	m.treeMu.Lock()
 	var tb bytes.Buffer
-	if err := m.tree.Save(&tb); err != nil {
-		m.mu.Unlock()
+	err := m.tree.Save(&tb)
+	m.treeMu.Unlock()
+	if err != nil {
+		m.unlockAll()
 		return fmt.Errorf("checkpoint: saving tree: %w", err)
 	}
 	wf.Tree = tb.Bytes()
-	for el := m.lru.Back(); el != nil; el = el.Prev() {
-		hs := el.Value.(*hostState)
-		hw := hostWire{Host: hs.host, Stream: hs.stream.Snapshot()}
-		if cs := hs.cluster; cs != nil {
-			hw.HasCluster = true
-			hw.First, hw.Last = cs.first, cs.last
-			hw.Size, hw.Reported = cs.size, cs.reported
+	var hosts []stamped
+	for _, sh := range m.shards {
+		for el := sh.lru.Back(); el != nil; el = el.Prev() {
+			hs := el.Value.(*hostState)
+			hw := hostWire{Host: hs.host, Stream: hs.stream.Snapshot()}
+			if cs := hs.cluster; cs != nil {
+				hw.HasCluster = true
+				hw.First, hw.Last = cs.first, cs.last
+				hw.Size, hw.Reported = cs.size, cs.reported
+			}
+			hosts = append(hosts, stamped{hw, hs.seq})
 		}
-		wf.Hosts = append(wf.Hosts, hw)
 	}
+	m.warnMu.Lock()
 	wf.Warnings = append([]detect.Warning(nil), m.warnings...)
+	m.warnMu.Unlock()
 	wf.Messages, wf.Anoms = m.messages.Value(), m.anoms.Value()
 	wf.Evicted, wf.Swaps = m.evicted.Value(), m.swaps.Value()
-	m.mu.Unlock()
+	m.unlockAll()
 
-	wf.SavedAt = time.Now()
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].seq < hosts[j].seq })
+	wf.Hosts = make([]hostWire, len(hosts))
+	for i, h := range hosts {
+		wf.Hosts[i] = h.hw
+	}
+	wf.SavedAt = m.now()
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(&wf); err != nil {
 		return fmt.Errorf("checkpoint: encoding: %w", err)
@@ -120,7 +144,10 @@ func RestoreMonitor(r io.Reader, cfg MonitorConfig, resolve func(host string) *d
 		return nil, fmt.Errorf("checkpoint: loading tree: %w", err)
 	}
 	m := NewMonitorWithResolver(cfg, tree, resolve, onWarning)
-	// Hosts arrive least recent first; PushFront in order rebuilds the LRU.
+	// Hosts arrive least recent first; PushFront in order (with fresh
+	// ascending seq stamps) rebuilds each shard's LRU and the global
+	// recency order. The host hash is stable, so a checkpoint written at
+	// one shard count restores onto any other.
 	for _, hw := range wf.Hosts {
 		det := resolve(hw.Host)
 		if det == nil {
@@ -130,14 +157,16 @@ func RestoreMonitor(r io.Reader, cfg MonitorConfig, resolve func(host string) *d
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: host %q: %w", hw.Host, err)
 		}
-		hs := &hostState{host: hw.Host, model: det.Name(), stream: st}
+		hs := &hostState{host: hw.Host, model: det.Name(), stream: st, seq: m.seq.Add(1)}
 		if m.cfg.Traces != nil {
 			hs.recent = make([]obs.TraceStep, m.cfg.TraceWindow)
 		}
 		if hw.HasCluster {
 			hs.cluster = &clusterState{first: hw.First, last: hw.Last, size: hw.Size, reported: hw.Reported}
 		}
-		m.hosts[hw.Host] = m.lru.PushFront(hs)
+		sh := m.shards[m.shardFor(hw.Host)]
+		sh.hosts[hw.Host] = sh.lru.PushFront(hs)
+		m.hostCount.Add(1)
 	}
 	m.warnings = wf.Warnings
 	m.messages.Store(wf.Messages)
@@ -145,7 +174,7 @@ func RestoreMonitor(r io.Reader, cfg MonitorConfig, resolve func(host string) *d
 	m.warningsC.Store(uint64(len(wf.Warnings)))
 	m.evicted.Store(wf.Evicted)
 	m.swaps.Store(wf.Swaps)
-	m.activeHosts.SetInt(m.lru.Len())
+	m.activeHosts.SetInt(int(m.hostCount.Load()))
 	return m, nil
 }
 

@@ -106,7 +106,7 @@ func TestCheckpointKillAndRestore(t *testing.T) {
 
 // cloneTree round-trips a tree through its serializer so the reference and
 // interrupted runs grow independent trees from the same starting point.
-func cloneTree(t *testing.T, tr *sigtree.Tree) *sigtree.Tree {
+func cloneTree(t testing.TB, tr *sigtree.Tree) *sigtree.Tree {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := tr.Save(&buf); err != nil {
@@ -260,10 +260,8 @@ func TestMonitorLRUEviction(t *testing.T) {
 		t.Fatalf("evicted %d, want 92", st.EvictedHosts)
 	}
 	// The most recent hosts survive; the oldest are gone.
-	mon.mu.Lock()
-	_, newest := mon.hosts["spoofed-099"]
-	_, oldest := mon.hosts["spoofed-000"]
-	mon.mu.Unlock()
+	newest := mon.hasHost("spoofed-099")
+	oldest := mon.hasHost("spoofed-000")
 	if !newest || oldest {
 		t.Fatalf("LRU kept wrong hosts: newest=%v oldest=%v", newest, oldest)
 	}

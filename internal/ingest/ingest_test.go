@@ -206,7 +206,7 @@ func TestContextCancelStopsServer(t *testing.T) {
 
 // trainMonitorDetector builds a sigtree+detector pair on a cyclic message
 // corpus resembling the simulator's normal traffic.
-func trainMonitorDetector(t *testing.T) (*sigtree.Tree, *detect.LSTMDetector) {
+func trainMonitorDetector(t testing.TB) (*sigtree.Tree, *detect.LSTMDetector) {
 	t.Helper()
 	tree := sigtree.New()
 	texts := []string{

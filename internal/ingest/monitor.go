@@ -2,11 +2,12 @@ package ingest
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nfvpredict/internal/detect"
-	"nfvpredict/internal/features"
 	"nfvpredict/internal/logfmt"
 	"nfvpredict/internal/obs"
 	"nfvpredict/internal/sigtree"
@@ -26,14 +27,36 @@ type MonitorConfig struct {
 	// reached the least-recently-seen host is evicted, so a sender spoofing
 	// hostnames can cost at most MaxHosts streams of memory, never
 	// unbounded growth. An evicted host that reappears starts a cold
-	// stream.
+	// stream. With multiple shards the cap is partitioned evenly
+	// (ceil(MaxHosts/Shards) per shard), so each shard evicts its own
+	// coldest hosts.
 	MaxHosts int
+
+	// Shards is the number of independent scoring shards; hosts are hashed
+	// onto shards, and each shard owns its hosts' LSTM streams under its
+	// own mutex. 0 or 1 means a single shard, which behaves exactly like
+	// the historical single-mutex monitor (same eviction, same checkpoint
+	// bytes). More shards let HandleMessage calls for different hosts score
+	// in parallel, and give the async path (Enqueue/Start) one worker per
+	// shard. Use runtime.GOMAXPROCS(0) to match the machine.
+	Shards int
+	// ShardQueue bounds each shard's async ingest queue (Enqueue); 0 means
+	// DefaultShardQueue. When a queue is full, Enqueue reports false and
+	// the message is the caller's to drop and count — backpressure must
+	// never block a network listener.
+	ShardQueue int
+	// MaxBatch caps how many queued messages a shard worker scores as one
+	// batch (batched LSTM inference); 0 means DefaultMaxBatch. Only the
+	// async path batches; HandleMessage always scores synchronously.
+	MaxBatch int
 
 	// Metrics, when set, is the registry the monitor reports into
 	// (counters mirror Stats(); latency and score histograms are only
 	// maintained when a registry is attached, so an uninstrumented
-	// monitor never reads the clock per message). When nil the monitor
-	// keeps its counters on a private registry so Stats() still works.
+	// monitor never reads the clock per message). Per-shard queue-depth
+	// gauges are labelled monitor_shard_queue_depth{shard="i"}. When nil
+	// the monitor keeps its counters on a private registry so Stats()
+	// still works.
 	Metrics *obs.Registry
 	// Traces, when set, receives one decision trace per anomaly verdict —
 	// the per-window log-probabilities, template IDs, threshold, and
@@ -59,8 +82,19 @@ const DefaultMaxHosts = 8192
 // anomaly cluster forming without bloating the ring.
 const DefaultTraceWindow = 8
 
+// DefaultShardQueue is the per-shard async queue bound when
+// MonitorConfig.ShardQueue is unset.
+const DefaultShardQueue = 1024
+
+// DefaultMaxBatch is the per-worker batch cap when MonitorConfig.MaxBatch
+// is unset. Past ~16 lanes the batched GEMM's per-lane win flattens while
+// per-batch latency keeps growing, so this is a latency/throughput balance,
+// not a hard ceiling.
+const DefaultMaxBatch = 16
+
 // DefaultMonitorConfig returns the paper's warning-clustering parameters
-// with a placeholder threshold of 6 (≈ e^-6 next-template likelihood).
+// with a placeholder threshold of 6 (≈ e^-6 next-template likelihood) and a
+// single scoring shard.
 func DefaultMonitorConfig() MonitorConfig {
 	return MonitorConfig{
 		Threshold:      6,
@@ -83,8 +117,13 @@ type MonitorStats struct {
 	EvictedHosts uint64
 	// ModelSwaps counts successful SwapModel calls (hot reloads).
 	ModelSwaps uint64
+	// ShardPanics counts scoring panics recovered by shard workers; the
+	// panicking batch is lost, the shard keeps serving.
+	ShardPanics uint64
 	// ActiveHosts is the number of per-host states currently held.
 	ActiveHosts int
+	// Shards is the number of scoring shards.
+	Shards int
 }
 
 // Monitor is the live counterpart of the offline pipeline: it templates
@@ -92,30 +131,66 @@ type MonitorStats struct {
 // the trained LSTM with per-vPE streaming state, clusters anomalies, and
 // emits warning signatures to a callback.
 //
-// HandleMessage is safe to call from one goroutine at a time (the ingest
-// Server's dispatcher provides exactly that); Warnings, Stats, Checkpoint,
-// and SwapModel may be called concurrently with it.
+// The monitor is sharded: hosts hash onto Shards independent shards, each
+// owning its hosts' recurrent scoring state under its own mutex.
+// HandleMessage is safe for concurrent use — calls for hosts on different
+// shards score in parallel; calls for the same host serialize on its
+// shard's mutex. Warnings, Stats, Checkpoint, and SwapModel may be called
+// concurrently with scoring.
+//
+// Two ingestion paths share the same scoring code:
+//
+//   - HandleMessage scores synchronously on the caller's goroutine. With a
+//     single caller its behavior (scores, warnings, checkpoints) is
+//     deterministic and independent of the shard count.
+//   - Enqueue routes the message to its shard's bounded queue and returns
+//     immediately; shard workers (Start/Stop) drain the queues, batching
+//     the LSTM inference of distinct hosts. Per-host scoring is still
+//     bit-identical, but cross-host ordering (and thus the interleaving of
+//     the warning log) follows worker scheduling.
 type Monitor struct {
 	cfg MonitorConfig
 
 	onWarning func(detect.Warning)
 
-	mu       sync.Mutex
-	tree     *sigtree.Tree
-	resolve  func(host string) *detect.LSTMDetector
-	hosts    map[string]*list.Element
-	lru      *list.List // of *hostState; front = most recently seen
+	// treeMu guards the signature tree, the only scoring structure shared
+	// by every shard (template IDs are global). Tokenization happens
+	// outside the lock; only match/merge/grow runs under it.
+	treeMu sync.Mutex
+	tree   *sigtree.Tree
+
+	// warnMu guards the warning history and serializes the onWarning
+	// callback across shards.
+	warnMu   sync.Mutex
 	warnings []detect.Warning
+
+	shards []*shard
+	// seq stamps each host touch with a global recency order, so a
+	// checkpoint can emit hosts in least-recently-seen order regardless of
+	// how they are spread over shards.
+	seq atomic.Uint64
+	// hostCount mirrors the summed shard LRU lengths for Stats().
+	hostCount atomic.Int64
+
+	// now is stubbed by tests that need byte-identical checkpoints.
+	now func() time.Time
+
+	// lifeMu guards the async worker lifecycle.
+	lifeMu  sync.Mutex
+	running bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
 
 	// Counters live on the registry (cfg.Metrics, or a private one) so the
 	// same numbers appear in Stats(), logs, and /metrics with no double
 	// bookkeeping; Checkpoint/Restore move their values wholesale.
-	messages  *obs.Counter
-	anoms     *obs.Counter
-	warningsC *obs.Counter
-	evicted   *obs.Counter
-	swaps     *obs.Counter
-	// activeHosts mirrors lru.Len() for scraping; histograms are nil (and
+	messages    *obs.Counter
+	anoms       *obs.Counter
+	warningsC   *obs.Counter
+	evicted     *obs.Counter
+	swaps       *obs.Counter
+	shardPanics *obs.Counter
+	// activeHosts mirrors hostCount for scraping; histograms are nil (and
 	// free) when no registry was attached.
 	activeHosts   *obs.Gauge
 	handleSeconds *obs.Histogram
@@ -127,12 +202,19 @@ type Monitor struct {
 
 // hostState is everything the monitor remembers about one vPE: its scoring
 // stream and its in-progress anomaly cluster. Stream and cluster live and
-// die together under the LRU so eviction cannot leave half a host behind.
+// die together under the shard LRU so eviction cannot leave half a host
+// behind.
 type hostState struct {
 	host    string
 	model   string
 	stream  *detect.LSTMStream
 	cluster *clusterState // nil until the host's first anomaly
+
+	// seq is the global recency stamp of the host's last touch (see
+	// Monitor.seq); mark is batch wave-scheduling scratch (see
+	// processBatchLocked).
+	seq  uint64
+	mark uint64
 
 	// recent is a fixed ring of the host's latest scored messages, the
 	// context window copied into a decision trace when a verdict fires.
@@ -171,13 +253,20 @@ func NewMonitorWithResolver(cfg MonitorConfig, tree *sigtree.Tree, resolve func(
 	if cfg.TraceWindow <= 0 {
 		cfg.TraceWindow = DefaultTraceWindow
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.ShardQueue <= 0 {
+		cfg.ShardQueue = DefaultShardQueue
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
 	m := &Monitor{
 		cfg:       cfg,
 		tree:      tree,
-		resolve:   resolve,
 		onWarning: onWarning,
-		hosts:     make(map[string]*list.Element),
-		lru:       list.New(),
+		now:       time.Now,
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -188,6 +277,7 @@ func NewMonitorWithResolver(cfg MonitorConfig, tree *sigtree.Tree, resolve func(
 	m.warningsC = reg.Counter("monitor_warnings_total", "Warning signatures emitted (§5.1 clustering rule).")
 	m.evicted = reg.Counter("monitor_evicted_hosts_total", "Per-host states evicted to honor MaxHosts.")
 	m.swaps = reg.Counter("monitor_model_swaps_total", "Successful SwapModel hot reloads.")
+	m.shardPanics = reg.Counter("monitor_shard_panics_total", "Scoring panics recovered by shard workers (the batch is lost).")
 	m.activeHosts = reg.Gauge("monitor_active_hosts", "Per-host states currently held.")
 	m.ckptSaves = reg.Counter("monitor_checkpoint_saves_total", "Successful Checkpoint snapshots written.")
 	if cfg.Metrics != nil {
@@ -203,51 +293,133 @@ func NewMonitorWithResolver(cfg MonitorConfig, tree *sigtree.Tree, resolve func(
 			"Anomaly scores (negative log-likelihood) of scored messages.",
 			obs.LinearBuckets(0.5, 0.5, 20))
 	}
+	perShard := (cfg.MaxHosts + cfg.Shards - 1) / cfg.Shards
+	m.shards = make([]*shard, cfg.Shards)
+	for i := range m.shards {
+		sh := &shard{
+			m:         m,
+			id:        i,
+			queue:     make(chan logfmt.Message, cfg.ShardQueue),
+			resolve:   resolve,
+			clusterOf: cfg.ClusterOf,
+			threshold: cfg.Threshold,
+			maxHosts:  perShard,
+			hosts:     make(map[string]*list.Element),
+			lru:       list.New(),
+		}
+		if cfg.Metrics != nil {
+			sh.depth = reg.Gauge(
+				obs.LabelName("monitor_shard_queue_depth", "shard", strconv.Itoa(i)),
+				"Messages waiting in this shard's async queue.")
+		}
+		m.shards[i] = sh
+	}
 	return m
 }
 
-// HandleMessage ingests one parsed syslog message.
+// shardFor hashes a host onto its shard (FNV-1a over the hostname). The
+// hash is stable across processes, so a checkpoint restores onto any shard
+// count.
+func (m *Monitor) shardFor(host string) int {
+	if len(m.shards) == 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(host); i++ {
+		h = (h ^ uint32(host[i])) * 16777619
+	}
+	return int(h % uint32(len(m.shards)))
+}
+
+// ShardCount returns the number of scoring shards.
+func (m *Monitor) ShardCount() int { return len(m.shards) }
+
+// hasHost reports whether host currently has live state (a test hook; the
+// shard map is otherwise private to its mutex).
+func (m *Monitor) hasHost(host string) bool {
+	sh := m.shards[m.shardFor(host)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.hosts[host]
+	return ok
+}
+
+// lockAll acquires every shard mutex in index order — the whole-monitor
+// critical section used by Checkpoint and SwapModel. Shard workers only
+// ever hold their own shard's mutex, so index order cannot deadlock.
+func (m *Monitor) lockAll() {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+	}
+}
+
+// unlockAll releases what lockAll acquired.
+func (m *Monitor) unlockAll() {
+	for _, sh := range m.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// HandleMessage ingests one parsed syslog message synchronously. It is safe
+// for concurrent use: messages for different hosts may score in parallel
+// (they serialize only on the shared signature tree), while messages for
+// one host serialize on its shard.
 func (m *Monitor) HandleMessage(msg logfmt.Message) {
 	start := m.handleSeconds.Start()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	defer m.handleSeconds.ObserveDuration(start)
-	m.messages.Inc()
-	t0 := m.learnSeconds.Start()
-	tpl := m.tree.Learn(msg.Text)
-	m.learnSeconds.ObserveDuration(t0)
-	hs := m.hostFor(msg.Host)
-	if hs == nil {
-		return // no model for this host yet
+	sh := m.shards[m.shardFor(msg.Host)]
+	sh.mu.Lock()
+	sh.handleLocked(msg)
+	sh.mu.Unlock()
+	m.handleSeconds.ObserveDuration(start)
+}
+
+// Enqueue routes one message to its host's shard queue without blocking.
+// It reports false when the shard's queue is full; the caller owns the
+// drop accounting (the ingest Server counts these under
+// ingest_shard_drops_total). Messages enqueued before Start sit in the
+// queue until workers run.
+func (m *Monitor) Enqueue(msg logfmt.Message) bool {
+	sh := m.shards[m.shardFor(msg.Host)]
+	select {
+	case sh.queue <- msg:
+		if sh.depth != nil {
+			sh.depth.SetInt(len(sh.queue))
+		}
+		return true
+	default:
+		return false
 	}
-	score := hs.stream.Push(features.Event{Time: msg.Time, Template: tpl.ID})
-	m.scoreHist.Observe(score)
-	if m.cfg.Traces != nil {
-		hs.record(obs.TraceStep{Time: msg.Time, Template: tpl.ID, LogProb: -score})
-	}
-	if score <= m.cfg.Threshold {
+}
+
+// Start launches one worker per shard to drain the async queues. It is
+// idempotent while running.
+func (m *Monitor) Start() {
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
+	if m.running {
 		return
 	}
-	m.anoms.Inc()
-	size, warned := m.observeAnomaly(hs, msg.Time)
-	if m.cfg.Traces != nil {
-		cluster := -1
-		if m.cfg.ClusterOf != nil {
-			cluster = m.cfg.ClusterOf(msg.Host)
-		}
-		m.cfg.Traces.Add(obs.Trace{
-			Time:        msg.Time,
-			Host:        msg.Host,
-			Cluster:     cluster,
-			Model:       hs.model,
-			Template:    tpl.ID,
-			Score:       score,
-			Threshold:   m.cfg.Threshold,
-			Window:      hs.window(),
-			ClusterSize: size,
-			Warning:     warned,
-		})
+	m.running = true
+	m.stop = make(chan struct{})
+	for _, sh := range m.shards {
+		m.wg.Add(1)
+		go sh.run(m.stop)
 	}
+}
+
+// Stop signals the workers, waits for them to drain their queues, and
+// returns. Stop the message source (the ingest Server) first, or late
+// Enqueues will sit in the queues until the next Start.
+func (m *Monitor) Stop() {
+	m.lifeMu.Lock()
+	if !m.running {
+		m.lifeMu.Unlock()
+		return
+	}
+	m.running = false
+	close(m.stop)
+	m.lifeMu.Unlock()
+	m.wg.Wait()
 }
 
 // record appends one scored message to the host's fixed context ring.
@@ -269,96 +441,48 @@ func (hs *hostState) window() []obs.TraceStep {
 	return out
 }
 
-// hostFor returns the (possibly new) state for host, refreshing its LRU
-// position and evicting the coldest host when over the cap. It returns nil
-// when no detector serves the host yet.
-func (m *Monitor) hostFor(host string) *hostState {
-	if el, ok := m.hosts[host]; ok {
-		m.lru.MoveToFront(el)
-		return el.Value.(*hostState)
-	}
-	det := m.resolve(host)
-	if det == nil {
-		return nil
-	}
-	st := det.NewStream()
-	if st == nil {
-		return nil // detector not trained yet
-	}
-	hs := &hostState{host: host, model: det.Name(), stream: st}
-	if m.cfg.Traces != nil {
-		hs.recent = make([]obs.TraceStep, m.cfg.TraceWindow)
-	}
-	m.hosts[host] = m.lru.PushFront(hs)
-	for m.lru.Len() > m.cfg.MaxHosts {
-		oldest := m.lru.Back()
-		old := oldest.Value.(*hostState)
-		m.lru.Remove(oldest)
-		delete(m.hosts, old.host)
-		m.evicted.Inc()
-	}
-	m.activeHosts.SetInt(m.lru.Len())
-	return hs
-}
-
-// observeAnomaly advances the host's cluster state, emitting a warning
-// when a cluster reaches the minimum size (once per cluster). It returns
-// the cluster size after this anomaly and whether this verdict emitted the
-// warning.
-func (m *Monitor) observeAnomaly(hs *hostState, at time.Time) (size int, warned bool) {
-	cs := hs.cluster
-	if cs == nil || at.Sub(cs.last) > m.cfg.ClusterWindow {
-		hs.cluster = &clusterState{first: at, last: at, size: 1}
-		return 1, false
-	}
-	cs.last = at
-	cs.size++
-	if cs.size >= m.cfg.MinClusterSize && !cs.reported {
-		cs.reported = true
-		w := detect.Warning{VPE: hs.host, Time: cs.first, Size: cs.size}
-		m.warnings = append(m.warnings, w)
-		m.warningsC.Inc()
-		if m.onWarning != nil {
-			m.onWarning(w)
-		}
-		return cs.size, true
-	}
-	return cs.size, false
-}
-
 // SwapModel atomically replaces the serving model — signature tree,
 // detector resolver, and threshold — with a freshly loaded bundle, the
-// runtime half of the paper's monthly retraining loop (§4.4). Per-host
-// stream state is reset (the new model's recurrent state and vocabulary are
-// not compatible with the old one's); warnings and counters carry over.
-// threshold <= 0 keeps the current threshold.
+// runtime half of the paper's monthly retraining loop (§4.4). The swap is
+// atomic across shards: every shard mutex is held, so no message scores
+// against a half-swapped model. Per-host stream state is reset (the new
+// model's recurrent state and vocabulary are not compatible with the old
+// one's); warnings and counters carry over. threshold <= 0 keeps the
+// current threshold.
 func (m *Monitor) SwapModel(tree *sigtree.Tree, resolve func(host string) *detect.LSTMDetector, threshold float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lockAll()
+	m.treeMu.Lock()
 	m.tree = tree
-	m.resolve = resolve
-	if threshold > 0 {
-		m.cfg.Threshold = threshold
+	m.treeMu.Unlock()
+	for _, sh := range m.shards {
+		sh.resolve = resolve
+		if threshold > 0 {
+			sh.threshold = threshold
+		}
+		sh.hosts = make(map[string]*list.Element)
+		sh.lru = list.New()
 	}
-	m.hosts = make(map[string]*list.Element)
-	m.lru = list.New()
+	m.hostCount.Store(0)
 	m.activeHosts.SetInt(0)
 	m.swaps.Inc()
+	m.unlockAll()
 }
 
 // SetClusterOf replaces the host→cluster mapping used for trace identity,
 // typically alongside SwapModel when a reloaded bundle re-clusters the
 // fleet.
 func (m *Monitor) SetClusterOf(clusterOf func(host string) int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cfg.ClusterOf = clusterOf
+	m.lockAll()
+	for _, sh := range m.shards {
+		sh.clusterOf = clusterOf
+	}
+	m.unlockAll()
 }
 
 // Warnings returns a copy of all warnings emitted so far.
 func (m *Monitor) Warnings() []detect.Warning {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.warnMu.Lock()
+	defer m.warnMu.Unlock()
 	out := make([]detect.Warning, len(m.warnings))
 	copy(out, m.warnings)
 	return out
@@ -370,24 +494,26 @@ func (m *Monitor) Counters() (messages, anomalies uint64) {
 }
 
 // Threshold returns the current operating threshold (which SwapModel may
-// have updated since construction).
+// have updated since construction). All shards share one threshold, so
+// reading any shard's copy suffices.
 func (m *Monitor) Threshold() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.cfg.Threshold
+	sh := m.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.threshold
 }
 
 // Stats returns a snapshot of all monitor counters — a thin view over the
 // same registry counters exported at /metrics.
 func (m *Monitor) Stats() MonitorStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return MonitorStats{
 		Messages:     m.messages.Value(),
 		Anomalies:    m.anoms.Value(),
 		Warnings:     m.warningsC.Value(),
 		EvictedHosts: m.evicted.Value(),
 		ModelSwaps:   m.swaps.Value(),
-		ActiveHosts:  m.lru.Len(),
+		ShardPanics:  m.shardPanics.Value(),
+		ActiveHosts:  int(m.hostCount.Load()),
+		Shards:       len(m.shards),
 	}
 }

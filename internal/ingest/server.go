@@ -39,6 +39,23 @@ type ServerConfig struct {
 	// uninstrumented server never reads the clock per message). When nil
 	// the counters live on a private registry and Stats() still works.
 	Metrics *obs.Registry
+
+	// Sharded, when set, routes parsed messages straight from the
+	// listener goroutines into the sink's per-shard queues, bypassing the
+	// single dispatcher goroutine (and its queue) entirely — the scoring
+	// shards become the concurrency, not a serial sink. A refused message
+	// (shard queue full) is dropped and counted under
+	// ingest_shard_drops_total; listeners never block on a slow scorer.
+	// When Sharded is set the sink callback may be nil.
+	Sharded ShardSink
+}
+
+// ShardSink accepts parsed messages into per-shard bounded queues without
+// blocking. *ingest.Monitor implements it.
+type ShardSink interface {
+	// Enqueue reports false when the message's shard queue is full; the
+	// caller owns the drop accounting.
+	Enqueue(msg logfmt.Message) bool
 }
 
 // DefaultServerConfig returns loopback-friendly defaults.
@@ -60,6 +77,9 @@ type Stats struct {
 	Malformed uint64
 	// Dropped is the number of messages discarded on queue overflow.
 	Dropped uint64
+	// ShardDropped is the number of messages refused by a full shard
+	// queue (sharded routing only).
+	ShardDropped uint64
 	// SinkPanics is the number of sink panics recovered by the dispatcher.
 	// The message that triggered a panic is lost; the server keeps serving.
 	SinkPanics uint64
@@ -91,14 +111,16 @@ type Server struct {
 	received        *obs.Counter
 	malformed       *obs.Counter
 	dropped         *obs.Counter
+	shardDrops      *obs.Counter
 	sinkPanics      *obs.Counter
 	dispatchSeconds *obs.Histogram
 	queueDepth      *obs.Gauge
 }
 
-// NewServer creates a server delivering parsed messages to sink.
+// NewServer creates a server delivering parsed messages to sink, or — when
+// cfg.Sharded is set — straight into per-shard queues.
 func NewServer(cfg ServerConfig, sink func(logfmt.Message)) (*Server, error) {
-	if sink == nil {
+	if sink == nil && cfg.Sharded == nil {
 		return nil, errors.New("ingest: sink must not be nil")
 	}
 	if cfg.QueueSize <= 0 {
@@ -124,6 +146,7 @@ func NewServer(cfg ServerConfig, sink func(logfmt.Message)) (*Server, error) {
 	s.received = reg.Counter("ingest_received_total", "Well-formed syslog messages accepted.")
 	s.malformed = reg.Counter("ingest_malformed_total", "Lines or frames that failed to parse.")
 	s.dropped = reg.Counter("ingest_dropped_total", "Messages discarded on queue overflow.")
+	s.shardDrops = reg.Counter("ingest_shard_drops_total", "Messages refused by a full shard queue (sharded routing).")
 	s.sinkPanics = reg.Counter("ingest_sink_panics_total", "Sink panics recovered by the dispatcher.")
 	if cfg.Metrics != nil {
 		s.dispatchSeconds = reg.Histogram("ingest_dispatch_seconds",
@@ -178,18 +201,21 @@ func (s *Server) TCPAddr() net.Addr {
 // same registry counters exported at /metrics.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Received:   s.received.Value(),
-		Malformed:  s.malformed.Value(),
-		Dropped:    s.dropped.Value(),
-		SinkPanics: s.sinkPanics.Value(),
+		Received:     s.received.Value(),
+		Malformed:    s.malformed.Value(),
+		Dropped:      s.dropped.Value(),
+		ShardDropped: s.shardDrops.Value(),
+		SinkPanics:   s.sinkPanics.Value(),
 	}
 }
 
 // Start launches the reader and dispatcher goroutines; it returns
 // immediately. Cancel ctx or call Close to stop.
 func (s *Server) Start(ctx context.Context) {
-	s.wg.Add(1)
-	go s.dispatch()
+	if s.cfg.Sharded == nil {
+		s.wg.Add(1)
+		go s.dispatch()
+	}
 	if s.udp != nil {
 		s.wg.Add(1)
 		go s.readUDP()
@@ -260,6 +286,16 @@ func (s *Server) enqueue(line []byte) {
 	msg, err := logfmt.Parse3164(string(trimmed), s.cfg.Year)
 	if err != nil {
 		s.malformed.Add(1)
+		return
+	}
+	if s.cfg.Sharded != nil {
+		// Sharded routing: hand the message to its shard queue right here
+		// on the listener goroutine — no dispatcher hop, no global queue.
+		if s.cfg.Sharded.Enqueue(msg) {
+			s.received.Add(1)
+		} else {
+			s.shardDrops.Add(1)
+		}
 		return
 	}
 	select {

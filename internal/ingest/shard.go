@@ -1,0 +1,355 @@
+package ingest
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/obs"
+	"nfvpredict/internal/sigtree"
+)
+
+// shard owns a disjoint subset of the fleet's hosts: their LSTM scoring
+// streams, anomaly clusters, and LRU slice. Host → shard assignment is a
+// stable hash of the hostname (shardFor), so one host's messages always land
+// on the same shard and its recurrent state is only ever touched under that
+// shard's mutex — single-writer discipline without a global lock.
+//
+// Everything mutable per host lives behind sh.mu. The only state shared
+// across shards is the signature tree (template IDs are global; guarded by
+// Monitor.treeMu), the warning history (Monitor.warnMu), and the atomic
+// counters, each with its own narrow lock or none at all.
+type shard struct {
+	m  *Monitor
+	id int
+
+	// queue feeds the shard's worker in async mode (Enqueue/Start). It is
+	// bounded: when full, Enqueue refuses the message and the caller counts
+	// the drop — backpressure never blocks a network listener.
+	queue chan logfmt.Message
+	// depth mirrors len(queue) for scraping; nil when unmetered.
+	depth *obs.Gauge
+
+	mu sync.Mutex
+	// resolve/clusterOf/threshold are the swappable serving parameters.
+	// SwapModel/SetClusterOf update them on every shard under lockAll, so a
+	// hot reload is atomic across the fleet: no message scores against the
+	// new model with the old threshold or vice versa.
+	resolve   func(host string) *detect.LSTMDetector
+	clusterOf func(host string) int
+	threshold float64
+	maxHosts  int
+	hosts     map[string]*list.Element
+	lru       *list.List // of *hostState; front = most recently seen
+
+	// waveGen stamps hostState.mark during batch wave scheduling.
+	waveGen uint64
+	batch   batchBuf
+}
+
+// batchBuf is the per-shard scratch for batched scoring. All slices grow to
+// the configured MaxBatch once and are reused; after warm-up a batch
+// allocates only when the signature tree grows a new template.
+type batchBuf struct {
+	msgs    []logfmt.Message
+	toks    [][]string
+	tpls    []int
+	hss     []*hostState
+	done    []bool
+	lanes   []int
+	streams []*detect.LSTMStream
+	events  []features.Event
+	scores  []float64
+	sb      detect.StreamBatch
+}
+
+// handleLocked ingests one message. Caller holds sh.mu.
+func (sh *shard) handleLocked(msg logfmt.Message) {
+	m := sh.m
+	m.messages.Inc()
+	t0 := m.learnSeconds.Start()
+	toks := sigtree.PrepareTokens(msg.Text)
+	m.treeMu.Lock()
+	tpl := m.tree.LearnTokens(toks)
+	m.treeMu.Unlock()
+	m.learnSeconds.ObserveDuration(t0)
+	hs := sh.hostFor(msg.Host)
+	if hs == nil {
+		return // no model for this host yet
+	}
+	score := hs.stream.Push(features.Event{Time: msg.Time, Template: tpl.ID})
+	sh.afterScore(msg, tpl.ID, hs, score)
+}
+
+// afterScore is everything downstream of a score: the score histogram, the
+// trace context ring, the threshold check, anomaly clustering, and the
+// decision trace. Caller holds sh.mu.
+func (sh *shard) afterScore(msg logfmt.Message, tplID int, hs *hostState, score float64) {
+	m := sh.m
+	m.scoreHist.Observe(score)
+	if m.cfg.Traces != nil {
+		hs.record(obs.TraceStep{Time: msg.Time, Template: tplID, LogProb: -score})
+	}
+	if score <= sh.threshold {
+		return
+	}
+	m.anoms.Inc()
+	size, warned := sh.observeAnomaly(hs, msg.Time)
+	if m.cfg.Traces != nil {
+		cluster := -1
+		if sh.clusterOf != nil {
+			cluster = sh.clusterOf(msg.Host)
+		}
+		m.cfg.Traces.Add(obs.Trace{
+			Time:        msg.Time,
+			Host:        msg.Host,
+			Cluster:     cluster,
+			Model:       hs.model,
+			Template:    tplID,
+			Score:       score,
+			Threshold:   sh.threshold,
+			Window:      hs.window(),
+			ClusterSize: size,
+			Warning:     warned,
+		})
+	}
+}
+
+// hostFor returns the (possibly new) state for host, refreshing its LRU
+// position and evicting the coldest host when over the shard's share of the
+// cap. It returns nil when no detector serves the host yet. Caller holds
+// sh.mu.
+func (sh *shard) hostFor(host string) *hostState {
+	m := sh.m
+	if el, ok := sh.hosts[host]; ok {
+		sh.lru.MoveToFront(el)
+		hs := el.Value.(*hostState)
+		hs.seq = m.seq.Add(1)
+		return hs
+	}
+	det := sh.resolve(host)
+	if det == nil {
+		return nil
+	}
+	st := det.NewStream()
+	if st == nil {
+		return nil // detector not trained yet
+	}
+	hs := &hostState{host: host, model: det.Name(), stream: st, seq: m.seq.Add(1)}
+	if m.cfg.Traces != nil {
+		hs.recent = make([]obs.TraceStep, m.cfg.TraceWindow)
+	}
+	sh.hosts[host] = sh.lru.PushFront(hs)
+	for sh.lru.Len() > sh.maxHosts {
+		oldest := sh.lru.Back()
+		old := oldest.Value.(*hostState)
+		sh.lru.Remove(oldest)
+		delete(sh.hosts, old.host)
+		m.evicted.Inc()
+		m.hostCount.Add(-1)
+	}
+	m.hostCount.Add(1)
+	m.activeHosts.SetInt(int(m.hostCount.Load()))
+	return hs
+}
+
+// observeAnomaly advances the host's cluster state, emitting a warning when
+// a cluster reaches the minimum size (once per cluster). The warning list
+// and callback are shared across shards and serialized under warnMu. Caller
+// holds sh.mu.
+func (sh *shard) observeAnomaly(hs *hostState, at time.Time) (size int, warned bool) {
+	m := sh.m
+	cs := hs.cluster
+	if cs == nil || at.Sub(cs.last) > m.cfg.ClusterWindow {
+		hs.cluster = &clusterState{first: at, last: at, size: 1}
+		return 1, false
+	}
+	cs.last = at
+	cs.size++
+	if cs.size >= m.cfg.MinClusterSize && !cs.reported {
+		cs.reported = true
+		w := detect.Warning{VPE: hs.host, Time: cs.first, Size: cs.size}
+		m.warnMu.Lock()
+		m.warnings = append(m.warnings, w)
+		m.warningsC.Inc()
+		if m.onWarning != nil {
+			m.onWarning(w)
+		}
+		m.warnMu.Unlock()
+		return cs.size, true
+	}
+	return cs.size, false
+}
+
+// run is the shard worker: it drains the queue into batches until stop,
+// then drains what is left and exits. The stop channel is captured at start
+// so a Stop/Start cycle cannot race a worker onto a stale channel.
+func (sh *shard) run(stop <-chan struct{}) {
+	defer sh.m.wg.Done()
+	for {
+		select {
+		case msg := <-sh.queue:
+			sh.consume(msg)
+		case <-stop:
+			for {
+				select {
+				case msg := <-sh.queue:
+					sh.consume(msg)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// consume gathers up to MaxBatch queued messages starting with first and
+// scores them as one batch. A panic while scoring (a poisoned message, a
+// bug in a hot-swapped model) loses that batch, is counted, and leaves the
+// worker — and the other shards — running.
+func (sh *shard) consume(first logfmt.Message) {
+	b := &sh.batch
+	b.msgs = append(b.msgs[:0], first)
+drain:
+	for len(b.msgs) < sh.m.cfg.MaxBatch {
+		select {
+		case msg := <-sh.queue:
+			b.msgs = append(b.msgs, msg)
+		default:
+			break drain
+		}
+	}
+	if sh.depth != nil {
+		sh.depth.SetInt(len(sh.queue))
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			sh.m.shardPanics.Inc()
+		}
+	}()
+	sh.processBatchLocked(b.msgs)
+}
+
+// processBatchLocked scores a batch of same-shard messages. Three phases:
+//
+//  1. Template every message — tokenization (pure) runs outside the tree
+//     lock, then one treeMu section learns all tokens, so B messages cost
+//     one global lock acquisition instead of B.
+//  2. Resolve host states in arrival order (LRU touches and seq stamps
+//     happen here, in the same order a sequential run would make them).
+//  3. Wave scheduling: a host's steps are inherently sequential (the LSTM
+//     recurrence), so each wave takes at most one message per host, scores
+//     the wave in one PushBatch, and repeats until the batch is dry.
+//     Per-lane arithmetic is bit-identical to the sequential path.
+//
+// Caller holds sh.mu.
+func (sh *shard) processBatchLocked(msgs []logfmt.Message) {
+	m := sh.m
+	B := len(msgs)
+	b := &sh.batch
+	b.toks = growToks(b.toks, B)
+	b.tpls = growInts(b.tpls, B)
+	b.hss = growHosts(b.hss, B)
+	b.done = growBools(b.done, B)
+	for i := range msgs {
+		b.toks[i] = sigtree.PrepareTokens(msgs[i].Text)
+	}
+	t0 := m.learnSeconds.Start()
+	m.treeMu.Lock()
+	for i := range msgs {
+		b.tpls[i] = m.tree.LearnTokens(b.toks[i]).ID
+	}
+	m.treeMu.Unlock()
+	m.learnSeconds.ObserveDuration(t0)
+	m.messages.Add(uint64(B))
+
+	left := 0
+	for i := range msgs {
+		b.hss[i] = sh.hostFor(msgs[i].Host)
+		b.done[i] = b.hss[i] == nil
+		if !b.done[i] {
+			left++
+		}
+	}
+	for left > 0 {
+		sh.waveGen++
+		b.lanes = b.lanes[:0]
+		for i := range msgs {
+			if b.done[i] || b.hss[i].mark == sh.waveGen {
+				continue
+			}
+			b.hss[i].mark = sh.waveGen
+			b.lanes = append(b.lanes, i)
+		}
+		L := len(b.lanes)
+		b.streams = growStreams(b.streams, L)
+		b.events = growEvents(b.events, L)
+		b.scores = growFloats(b.scores, L)
+		for k, i := range b.lanes {
+			b.streams[k] = b.hss[i].stream
+			b.events[k] = features.Event{Time: msgs[i].Time, Template: b.tpls[i]}
+		}
+		detect.PushBatch(&b.sb, b.streams[:L], b.events[:L], b.scores[:L])
+		for k, i := range b.lanes {
+			sh.afterScore(msgs[i], b.tpls[i], b.hss[i], b.scores[k])
+			b.done[i] = true
+		}
+		left -= L
+	}
+}
+
+// The grow helpers resize reusable scratch slices without reallocating once
+// capacity suffices.
+func growToks(s [][]string, n int) [][]string {
+	if cap(s) < n {
+		return make([][]string, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growHosts(s []*hostState, n int) []*hostState {
+	if cap(s) < n {
+		return make([]*hostState, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growStreams(s []*detect.LSTMStream, n int) []*detect.LSTMStream {
+	if cap(s) < n {
+		return make([]*detect.LSTMStream, n)
+	}
+	return s[:n]
+}
+
+func growEvents(s []features.Event, n int) []features.Event {
+	if cap(s) < n {
+		return make([]features.Event, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,394 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/sigtree"
+)
+
+// TestShardedSyncEquivalence is the sharding contract for the synchronous
+// path: the same message sequence fed through HandleMessage by a single
+// caller must yield identical warnings — and byte-identical checkpoints —
+// at 1 and at 8 shards. Sharding redistributes state; it must not change a
+// single scored bit.
+func TestShardedSyncEquivalence(t *testing.T) {
+	tree, det := trainMonitorDetector(t)
+	msgs := monitorTraffic([]string{"vpe01", "vpe02", "vpe03", "vpe04", "vpe05"}, 40)
+
+	run := func(shards int) (*Monitor, []byte) {
+		mcfg := DefaultMonitorConfig()
+		mcfg.Threshold = 4
+		mcfg.Shards = shards
+		mon := NewMonitorWithResolver(mcfg, cloneTree(t, tree), func(string) *detect.LSTMDetector { return det }, nil)
+		mon.now = func() time.Time { return time.Date(2018, 4, 1, 0, 0, 0, 0, time.UTC) }
+		for _, m := range msgs {
+			mon.HandleMessage(m)
+		}
+		var buf bytes.Buffer
+		if err := mon.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return mon, buf.Bytes()
+	}
+
+	mon1, ckpt1 := run(1)
+	mon8, ckpt8 := run(8)
+
+	w1, w8 := mon1.Warnings(), mon8.Warnings()
+	if len(w1) == 0 {
+		t.Fatal("traffic produced no warnings; test has no teeth")
+	}
+	if len(w1) != len(w8) {
+		t.Fatalf("warning counts differ: %d vs %d", len(w1), len(w8))
+	}
+	for i := range w1 {
+		if w1[i] != w8[i] {
+			t.Fatalf("warning %d differs: %+v vs %+v", i, w1[i], w8[i])
+		}
+	}
+	s1, s8 := mon1.Stats(), mon8.Stats()
+	if s1.Messages != s8.Messages || s1.Anomalies != s8.Anomalies || s1.ActiveHosts != s8.ActiveHosts {
+		t.Fatalf("stats diverge: %+v vs %+v", s1, s8)
+	}
+	if !bytes.Equal(ckpt1, ckpt8) {
+		t.Fatalf("checkpoints not byte-identical across shard counts (%d vs %d bytes)", len(ckpt1), len(ckpt8))
+	}
+}
+
+// TestShardedKillAndRestore runs the kill-and-restore scenario on a sharded
+// monitor, restoring onto a different shard count than the checkpoint was
+// written at: the host hash is stable, so state redistributes cleanly and
+// warnings and counters match an uninterrupted run exactly.
+func TestShardedKillAndRestore(t *testing.T) {
+	tree, det := trainMonitorDetector(t)
+	resolve := func(string) *detect.LSTMDetector { return det }
+	msgs := monitorTraffic([]string{"vpe01", "vpe02", "vpe03"}, 60)
+	cut := len(msgs) / 2
+
+	mcfg := DefaultMonitorConfig()
+	mcfg.Threshold = 4
+	mcfg.Shards = 8
+
+	ref := NewMonitorWithResolver(mcfg, cloneTree(t, tree), resolve, nil)
+	for _, m := range msgs {
+		ref.HandleMessage(m)
+	}
+
+	mon := NewMonitorWithResolver(mcfg, cloneTree(t, tree), resolve, nil)
+	for _, m := range msgs[:cut] {
+		mon.HandleMessage(m)
+	}
+	var ckpt bytes.Buffer
+	if err := mon.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	rcfg := mcfg
+	rcfg.Shards = 3 // restore onto a different shard count
+	restored, err := RestoreMonitor(bytes.NewReader(ckpt.Bytes()), rcfg, resolve, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs[cut:] {
+		restored.HandleMessage(m)
+	}
+
+	a, b := ref.Stats(), restored.Stats()
+	if a.Messages != b.Messages || a.Anomalies != b.Anomalies || a.Warnings != b.Warnings {
+		t.Fatalf("restored sharded run diverged: ref=%+v restored=%+v", a, b)
+	}
+	wa, wb := ref.Warnings(), restored.Warnings()
+	if len(wa) == 0 {
+		t.Fatal("no warnings produced")
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("warning %d differs: %+v vs %+v", i, wa[i], wb[i])
+		}
+	}
+}
+
+// TestAsyncShardedCompleteness drives the async path (Enqueue + workers)
+// and checks nothing is lost or double-counted: every accepted message is
+// scored, and per-host scoring matches the synchronous reference (same
+// anomaly and warning totals, same warning set).
+func TestAsyncShardedCompleteness(t *testing.T) {
+	tree, det := trainMonitorDetector(t)
+	resolve := func(string) *detect.LSTMDetector { return det }
+	hosts := []string{"vpe01", "vpe02", "vpe03", "vpe04"}
+	msgs := monitorTraffic(hosts, 50)
+
+	mcfg := DefaultMonitorConfig()
+	mcfg.Threshold = 4
+	sync := NewMonitorWithResolver(mcfg, cloneTree(t, tree), resolve, nil)
+	for _, m := range msgs {
+		sync.HandleMessage(m)
+	}
+
+	acfg := mcfg
+	acfg.Shards = 4
+	acfg.MaxBatch = 8
+	async := NewMonitorWithResolver(acfg, cloneTree(t, tree), resolve, nil)
+	async.Start()
+	for _, m := range msgs {
+		for !async.Enqueue(m) {
+			time.Sleep(time.Millisecond) // full queue: wait for the worker
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && async.Stats().Messages < uint64(len(msgs)) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	async.Stop()
+
+	sa, aa := sync.Stats(), async.Stats()
+	if aa.Messages != uint64(len(msgs)) {
+		t.Fatalf("async lost messages: %d of %d", aa.Messages, len(msgs))
+	}
+	if sa.Anomalies != aa.Anomalies || sa.Warnings != aa.Warnings {
+		t.Fatalf("async scoring diverged: sync=%+v async=%+v", sa, aa)
+	}
+	// Warning order across hosts depends on worker interleaving; the set
+	// must match exactly.
+	ws, wa := sync.Warnings(), async.Warnings()
+	if len(ws) == 0 || len(ws) != len(wa) {
+		t.Fatalf("warning sets differ in size: %d vs %d", len(ws), len(wa))
+	}
+	seen := make(map[detect.Warning]int)
+	for _, w := range ws {
+		seen[w]++
+	}
+	for _, w := range wa {
+		if seen[w] == 0 {
+			t.Fatalf("async produced warning the sync run did not: %+v", w)
+		}
+		seen[w]--
+	}
+}
+
+// TestShardLifecycleConcurrency exercises every public entry point
+// concurrently with running workers — the -race gate for the shard
+// lifecycle (Start/Stop idempotence, Enqueue during Stop, checkpoint and
+// hot-swap under load).
+func TestShardLifecycleConcurrency(t *testing.T) {
+	tree, det := trainMonitorDetector(t)
+	resolve := func(string) *detect.LSTMDetector { return det }
+	msgs := monitorTraffic([]string{"vpe01", "vpe02", "vpe03", "vpe04"}, 20)
+	tree2 := cloneTree(t, tree)
+
+	mcfg := DefaultMonitorConfig()
+	mcfg.Threshold = 4
+	mcfg.Shards = 4
+	mcfg.ShardQueue = 64
+	mon := NewMonitorWithResolver(mcfg, cloneTree(t, tree), resolve, nil)
+	mon.Start()
+	mon.Start() // idempotent while running
+
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for _, m := range msgs {
+			mon.Enqueue(m) // drops under pressure are fine here
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for _, m := range msgs {
+			mon.HandleMessage(m)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			mon.Stats()
+			mon.Warnings()
+			mon.Threshold()
+			mon.hasHost("vpe01")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var buf bytes.Buffer
+		if err := mon.Checkpoint(&buf); err != nil {
+			t.Error(err)
+		}
+		mon.SwapModel(tree2, resolve, 5)
+		mon.SetClusterOf(func(string) int { return 1 })
+	}()
+	wg.Wait()
+
+	mon.Stop()
+	mon.Stop() // idempotent when stopped
+	if got := mon.Threshold(); got != 5 {
+		t.Fatalf("threshold after swap: %v", got)
+	}
+	// The monitor restarts cleanly after a full stop.
+	mon.Start()
+	if !mon.Enqueue(msgs[0]) {
+		t.Fatal("enqueue after restart refused")
+	}
+	before := mon.Stats().Messages
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && mon.Stats().Messages == before {
+		time.Sleep(2 * time.Millisecond)
+	}
+	mon.Stop()
+	if mon.Stats().Messages == before {
+		t.Fatal("restarted workers not draining")
+	}
+}
+
+// TestServerShardRouting wires the server's direct-to-shard path end to
+// end: UDP datagrams for several hosts land on their shard queues from the
+// listener goroutine and are scored by the workers, with no dispatcher in
+// between.
+func TestServerShardRouting(t *testing.T) {
+	tree, det := trainMonitorDetector(t)
+	mcfg := DefaultMonitorConfig()
+	mcfg.Shards = 4
+	mon := NewMonitorWithResolver(mcfg, tree, func(string) *detect.LSTMDetector { return det }, nil)
+	mon.Start()
+	defer mon.Stop()
+
+	cfg := DefaultServerConfig()
+	cfg.Sharded = mon
+	srv, err := NewServer(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(context.Background())
+	defer srv.Close()
+
+	conn, err := net.Dial("udp", srv.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const total = 40
+	at := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < total; i++ {
+		m := logfmt.Message{
+			Time: at, Host: fmt.Sprintf("vpe%02d", i%8), Tag: "rpd",
+			Text: "bgp keepalive exchanged with peer 10.0.0.2 hold 90",
+		}
+		if _, err := fmt.Fprint(conn, m.Format3164()); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Second)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && mon.Stats().Messages < total {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := mon.Stats().Messages; got != total {
+		t.Fatalf("scored %d of %d routed messages", got, total)
+	}
+	st := srv.Stats()
+	if st.Received != total || st.ShardDropped != 0 || st.Dropped != 0 {
+		t.Fatalf("server stats: %+v", st)
+	}
+	if mon.Stats().ActiveHosts != 8 {
+		t.Fatalf("active hosts: %+v", mon.Stats())
+	}
+}
+
+// TestServerShardDropAccounting fills a stopped monitor's one-slot shard
+// queue and checks the server counts every refused message under the
+// dedicated shard-drop counter rather than blocking or losing it silently.
+func TestServerShardDropAccounting(t *testing.T) {
+	tree, det := trainMonitorDetector(t)
+	mcfg := DefaultMonitorConfig()
+	mcfg.Shards = 1
+	mcfg.ShardQueue = 4
+	mon := NewMonitorWithResolver(mcfg, tree, func(string) *detect.LSTMDetector { return det }, nil)
+	// Workers intentionally not started: the queue can only fill.
+
+	cfg := DefaultServerConfig()
+	cfg.Sharded = mon
+	srv, err := NewServer(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i := 0; i < 10; i++ {
+		srv.enqueue([]byte(sampleLine(i)))
+	}
+	st := srv.Stats()
+	if st.Received != 4 || st.ShardDropped != 6 {
+		t.Fatalf("drop accounting: %+v (want received=4 shard_dropped=6)", st)
+	}
+}
+
+// benchmarkMonitorParallel measures concurrent HandleMessage throughput at
+// a given shard count: GOMAXPROCS goroutines hammer a 64-host fleet. This
+// is the acceptance pair for the sharding tentpole — compare ns/op between
+// MonitorParallelShards1 (the old single-mutex behavior) and
+// MonitorParallelShards8.
+func benchmarkMonitorParallel(b *testing.B, shards int) {
+	tree, det := trainMonitorDetector(b)
+	mcfg := DefaultMonitorConfig()
+	mcfg.Shards = shards
+	mon := NewMonitorWithResolver(mcfg, tree, func(string) *detect.LSTMDetector { return det }, nil)
+	const hosts = 64
+	base := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	msgs := make([]logfmt.Message, hosts)
+	for i := range msgs {
+		msgs[i] = logfmt.Message{
+			Time: base, Host: fmt.Sprintf("vpe%03d", i), Tag: "rpd",
+			Text: "bgp keepalive exchanged with peer 10.0.0.1 hold 90",
+		}
+	}
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			m := msgs[i%hosts]
+			m.Time = m.Time.Add(time.Duration(i) * time.Second)
+			mon.HandleMessage(m)
+		}
+	})
+}
+
+// BenchmarkShardSerialSection measures the only per-message work the
+// sharded path still serializes globally: the signature-tree learn under
+// treeMu (tokenization runs outside the lock and is measured separately).
+// Its share of BenchmarkMonitorHandleMessage bounds the parallel speedup
+// (Amdahl); the rest of the pipeline — LSTM step, clustering, LRU — is
+// per-shard and scales with cores.
+func BenchmarkShardSerialSection(b *testing.B) {
+	tree, _ := trainMonitorDetector(b)
+	text := "bgp keepalive exchanged with peer 10.0.0.1 hold 90"
+	toks := sigtree.PrepareTokens(text)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.LearnTokens(toks)
+	}
+}
+
+// BenchmarkShardTokenize is the tokenization half, which shards run
+// outside the tree lock.
+func BenchmarkShardTokenize(b *testing.B) {
+	text := "bgp keepalive exchanged with peer 10.0.0.1 hold 90"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sigtree.PrepareTokens(text)
+	}
+}
+
+func BenchmarkMonitorParallelShards1(b *testing.B) { benchmarkMonitorParallel(b, 1) }
+func BenchmarkMonitorParallelShards4(b *testing.B) { benchmarkMonitorParallel(b, 4) }
+func BenchmarkMonitorParallelShards8(b *testing.B) { benchmarkMonitorParallel(b, 8) }

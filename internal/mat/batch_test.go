@@ -1,0 +1,159 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveMulVecAdd is the reference rolled kernel the unrolled fast paths
+// must reproduce bit for bit.
+func naiveMulVecAdd(m *Matrix, dst, v Vector) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		dst[i] += s
+	}
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randVector(rng *rand.Rand, n int) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// TestMulVecAddUnrollBitIdentical exercises every tail length of the
+// 4x-unrolled loop (cols 1..9 plus larger shapes) against the rolled
+// reference. Bit identity, not tolerance: the unroll must not change the
+// summation order.
+func TestMulVecAddUnrollBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, cols := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 33, 128} {
+		m := randMatrix(rng, 17, cols)
+		v := randVector(rng, cols)
+		got := randVector(rng, 17) // nonzero dst: the += must also agree
+		want := got.Clone()
+		m.MulVecAdd(got, v)
+		naiveMulVecAdd(m, want, v)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("cols=%d row %d: %v != %v", cols, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTransMulVecAddUnrollBitIdentical checks the transposed kernel against
+// a rolled reference across tail lengths, including zero entries in v
+// (which the kernel skips).
+func TestTransMulVecAddUnrollBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, cols := range []int{1, 3, 4, 7, 8, 33} {
+		m := randMatrix(rng, 12, cols)
+		v := randVector(rng, 12)
+		v[3], v[7] = 0, 0
+		got := randVector(rng, cols)
+		want := got.Clone()
+		m.TransMulVecAdd(got, v)
+		for i := 0; i < m.Rows; i++ {
+			a := v[i]
+			if a == 0 {
+				continue
+			}
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, x := range row {
+				want[j] += a * x
+			}
+		}
+		for j := range got {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("cols=%d col %d: %v != %v", cols, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestMulMatAddBitIdenticalToMulVecAdd is the batched-kernel contract: one
+// MulMatAdd over B lanes must equal B independent MulVecAdd calls bit for
+// bit, for batch sizes spanning the shard worker's range.
+func TestMulMatAddBitIdenticalToMulVecAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, B := range []int{1, 3, 8, 16} {
+		w := randMatrix(rng, 24, 33)
+		x := randMatrix(rng, B, 33)
+		dst := randMatrix(rng, B, 24)
+		want := dst.Clone()
+		w.MulMatAdd(dst, x)
+		for b := 0; b < B; b++ {
+			w.MulVecAdd(want.Row(b), x.Row(b))
+		}
+		for i := range dst.Data {
+			if math.Float64bits(dst.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("B=%d element %d: %v != %v", B, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestMulMatAddShapePanics pins the shape contract: mismatched lanes or
+// widths must panic, not corrupt.
+func TestMulMatAddShapePanics(t *testing.T) {
+	w := NewMatrix(4, 5)
+	for _, tc := range []struct {
+		name   string
+		dst, x *Matrix
+	}{
+		{"input cols", NewMatrix(2, 4), NewMatrix(2, 6)},
+		{"output cols", NewMatrix(2, 3), NewMatrix(2, 5)},
+		{"lanes", NewMatrix(3, 4), NewMatrix(2, 5)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s mismatch did not panic", tc.name)
+				}
+			}()
+			w.MulMatAdd(tc.dst, tc.x)
+		}()
+	}
+}
+
+// BenchmarkMulVecAdd measures the unrolled single-lane kernel at the
+// serving model's gate shape (4H×In with H=32, vocab 80 + gap).
+func BenchmarkMulVecAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 128, 81)
+	v := randVector(rng, 81)
+	dst := NewVector(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MulVecAdd(dst, v)
+	}
+}
+
+// BenchmarkMulMatAdd8 measures the batched kernel at 8 lanes against the
+// same weights; compare ns/op per lane with BenchmarkMulVecAdd to see the
+// cache win of reusing each weight row across the batch.
+func BenchmarkMulMatAdd8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 128, 81)
+	x := randMatrix(rng, 8, 81)
+	dst := NewMatrix(8, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MulMatAdd(dst, x)
+	}
+}

@@ -198,6 +198,56 @@ func (l *LSTM) step(x mat.Vector, in oneHot, st *LSTMState, cache *LSTMCache) ma
 	return s.h
 }
 
+// stepBatch advances B independent recurrent states by one inference
+// timestep each, evaluating the gate pre-activations of all lanes as one
+// MulMatAdd GEMM per projection instead of B MulVecAdd calls. Lane b
+// consumes ins[b] (sparse path, xs == nil) or row b of xs (dense path) and
+// updates states[b] in place. z ([B×4H]) and hp ([B×H]) are caller-owned
+// scratch. States must be distinct — two lanes sharing a state is the
+// caller's bug (shard workers wave-schedule per-host steps to guarantee it).
+//
+// Per lane the arithmetic — bias copy, input product, recurrent product,
+// gate fold — replays the cache-free step() exactly, including the
+// j-summation order inside each dot product, so batched outputs are
+// bit-identical to B sequential steps.
+func (l *LSTM) stepBatch(ins []oneHot, xs *mat.Matrix, states []*LSTMState, z, hp *mat.Matrix) {
+	H := l.Hidden
+	B := len(states)
+	bias := l.Bp.W.Row(0)
+	for b := 0; b < B; b++ {
+		copy(z.Row(b), bias)
+	}
+	if xs != nil {
+		l.Wxp.W.MulMatAdd(z, xs)
+	} else {
+		for b := 0; b < B; b++ {
+			zr := z.Row(b)
+			if in := ins[b]; in.gapCol >= 0 {
+				l.Wxp.W.Col2GatherAdd(zr, in.id, 1, in.gapCol, in.gap)
+			} else {
+				l.Wxp.W.ColGatherAdd(zr, in.id, 1)
+			}
+		}
+	}
+	for b := 0; b < B; b++ {
+		copy(hp.Row(b), states[b].H)
+	}
+	l.Whp.W.MulMatAdd(z, hp)
+	for b := 0; b < B; b++ {
+		st := states[b]
+		zr := z.Row(b)
+		for j := 0; j < H; j++ {
+			i := sigmoid(zr[j])
+			f := sigmoid(zr[H+j])
+			g := math.Tanh(zr[2*H+j])
+			o := sigmoid(zr[3*H+j])
+			c := f*st.C[j] + i*g
+			st.C[j] = c
+			st.H[j] = o * math.Tanh(c)
+		}
+	}
+}
+
 // ForwardSeq runs the layer over xs starting from a zero state and returns
 // the hidden output at every timestep plus the BPTT tape.
 func (l *LSTM) ForwardSeq(xs []mat.Vector) ([]mat.Vector, *LSTMCache) {

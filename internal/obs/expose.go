@@ -6,7 +6,27 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 )
+
+// LabelName renders a per-instance series name, name{key="value"}, for
+// registering one metric handle per instance of a replicated component
+// (e.g. monitor_shard_queue_depth{shard="3"}). The registry treats the
+// whole string as the metric name; exposition emits HELP/TYPE once per
+// base name and one sample line per labelled series. Use it for counters
+// and gauges only — histograms expand into their own le-labelled series.
+func LabelName(name, key, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
+
+// baseName strips a LabelName label block, returning the Prometheus metric
+// family name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
 
 // formatValue renders a float the way Prometheus text exposition expects:
 // integers without a decimal point, +Inf/-Inf/NaN spelled out.
@@ -28,27 +48,44 @@ func formatValue(v float64) string {
 // WritePrometheus writes every registered metric in the Prometheus text
 // exposition format (version 0.0.4), in name order. Histograms emit
 // cumulative le-labelled buckets plus _sum and _count, matching what a
-// Prometheus scraper expects of a native histogram series.
+// Prometheus scraper expects of a native histogram series. LabelName
+// series share one HELP/TYPE header per family (name order keeps a
+// family's labelled series adjacent: '{' sorts after every valid metric
+// name character).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	lastFamily := ""
 	for _, m := range r.sorted() {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+		family := baseName(m.name)
+		if family != lastFamily {
+			lastFamily = family
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, m.help); err != nil {
+					return err
+				}
+			}
+			var kind string
+			switch m.kind {
+			case kindCounter:
+				kind = "counter"
+			case kindGauge:
+				kind = "gauge"
+			case kindHistogram:
+				kind = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind); err != nil {
 				return err
 			}
 		}
 		var err error
 		switch m.kind {
 		case kindCounter:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.c.Value())
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
 		case kindGauge:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatValue(m.g.Value()))
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.g.Value()))
 		case kindHistogram:
-			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
-				return err
-			}
 			bounds, counts := m.h.Buckets()
 			var cum uint64
 			for i, b := range bounds {

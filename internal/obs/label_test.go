@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLabelName(t *testing.T) {
+	got := LabelName("monitor_shard_queue_depth", "shard", "3")
+	want := `monitor_shard_queue_depth{shard="3"}`
+	if got != want {
+		t.Fatalf("LabelName = %q, want %q", got, want)
+	}
+}
+
+// TestLabeledSeriesShareFamily checks the exposition contract for labeled
+// metrics: series that differ only in labels must appear under a single
+// HELP/TYPE header for the base family, adjacent in the output, and the
+// unlabeled neighbours keep their own headers.
+func TestLabeledSeriesShareFamily(t *testing.T) {
+	r := NewRegistry()
+	for _, s := range []string{"0", "1", "2"} {
+		g := r.Gauge(LabelName("shard_queue_depth", "shard", s), "Messages queued per shard.")
+		g.SetInt(5)
+	}
+	r.Counter("zz_total", "Unrelated counter.").Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	if n := strings.Count(out, "# HELP shard_queue_depth "); n != 1 {
+		t.Errorf("HELP emitted %d times for the labeled family, want 1\n%s", n, out)
+	}
+	if n := strings.Count(out, "# TYPE shard_queue_depth gauge"); n != 1 {
+		t.Errorf("TYPE emitted %d times for the labeled family, want 1\n%s", n, out)
+	}
+	for _, s := range []string{"0", "1", "2"} {
+		line := `shard_queue_depth{shard="` + s + `"} 5`
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing sample %q in:\n%s", line, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE zz_total counter"); n != 1 {
+		t.Errorf("unlabeled counter lost its header:\n%s", out)
+	}
+	// Labeled series must be grouped: no other family's header may sit
+	// between the first and last shard sample.
+	first := strings.Index(out, `shard_queue_depth{shard="0"}`)
+	last := strings.Index(out, `shard_queue_depth{shard="2"}`)
+	if first < 0 || last < 0 || strings.Contains(out[first:last], "# HELP") {
+		t.Errorf("labeled series not adjacent:\n%s", out)
+	}
+}

@@ -110,10 +110,25 @@ func (t *Tree) TemplateByID(id int) *Template {
 // Learn matches msg against the tree, creating or refining a template as
 // needed, increments its count, and returns it.
 func (t *Tree) Learn(msg string) *Template {
+	return t.LearnTokens(PrepareTokens(msg))
+}
+
+// PrepareTokens tokenizes and masks msg into the canonical form LearnTokens
+// consumes. It is a pure function of msg, so concurrent shard workers run
+// it outside the tree lock — tokenization is the expensive half of Learn —
+// and only the match/merge step needs serialization.
+func PrepareTokens(msg string) []string {
 	tokens := maskTokens(Tokenize(msg))
 	if len(tokens) == 0 {
 		tokens = []string{Wildcard}
 	}
+	return tokens
+}
+
+// LearnTokens is Learn over tokens already prepared with PrepareTokens.
+// Like every Tree method it requires external synchronization; the caller
+// must not mutate tokens afterwards (a new template takes ownership).
+func (t *Tree) LearnTokens(tokens []string) *Template {
 	if idx, merge := t.findBest(tokens); idx >= 0 {
 		tpl := t.templates[idx]
 		if merge {
