@@ -26,6 +26,7 @@ ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) test-race
+	$(GO) test ./internal/lifecycle/ -run TestLifecycleSoakSmoke -race -count=1
 	$(GO) test ./internal/obs/ -run XXX -bench Registry -benchtime=1x -benchmem
 	$(GO) test ./internal/nn/ -run XXX -bench 'StepLogProbsBatch' -benchtime=1x -benchmem
 	$(GO) test ./internal/mat/ -run XXX -bench 'MulMatAdd|MulVecAdd' -benchtime=1x -benchmem
@@ -52,7 +53,8 @@ bench-serving:
 bench-json:
 	{ $(GO) test ./internal/ingest/ -run XXX -bench 'MonitorHandleMessage|MonitorParallel|ShardSerialSection' -benchmem ; \
 	  $(GO) test ./internal/nn/ -run XXX -bench 'StepLogProbs' -benchmem ; \
-	  $(GO) test ./internal/mat/ -run XXX -bench 'MulVecAdd|MulMatAdd' -benchmem ; } \
+	  $(GO) test ./internal/mat/ -run XXX -bench 'MulVecAdd|MulMatAdd' -benchmem ; \
+	  $(GO) test ./internal/lifecycle/ -run XXX -bench 'AdaptationCycle' -benchmem -benchtime 5x ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_serving.json
 	@echo wrote BENCH_serving.json
 

@@ -33,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +48,7 @@ import (
 	"nfvpredict/internal/detect"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/ingest"
+	"nfvpredict/internal/lifecycle"
 	"nfvpredict/internal/obs"
 	"nfvpredict/internal/pipeline"
 	"nfvpredict/internal/sigtree"
@@ -65,6 +67,11 @@ type options struct {
 	admin     string
 	traceBuf  int
 	verbose   bool
+
+	adapt         bool
+	adaptInterval time.Duration
+	adaptGate     float64
+	adaptSpool    string
 }
 
 func main() {
@@ -81,6 +88,10 @@ func main() {
 	flag.StringVar(&o.admin, "admin", "", "admin HTTP listen address serving /metrics, /statusz, /traces, /healthz, /readyz, /debug/pprof (empty disables)")
 	flag.IntVar(&o.traceBuf, "trace-buffer", 256, "decision traces retained for /traces")
 	flag.BoolVar(&o.verbose, "v", false, "verbose (debug-level) logging")
+	flag.BoolVar(&o.adapt, "adapt", false, "enable the online model lifecycle: drift detection, background fine-tuning, shadow-gated promotion (adds /models to the admin surface)")
+	flag.DurationVar(&o.adaptInterval, "adapt-interval", 10*time.Minute, "lifecycle cycle period (drift check + possible adaptation)")
+	flag.Float64Var(&o.adaptGate, "adapt-gate", 0.02, "promotion gate: max false-alarm rate a candidate may show on held-out spooled traffic")
+	flag.StringVar(&o.adaptSpool, "adapt-spool", "", "spool file: recent normal windows are persisted here with the checkpoint and restored at startup (empty disables)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -100,6 +111,8 @@ type app struct {
 	health  *obs.Health
 	mon     *ingest.Monitor
 	srv     *ingest.Server
+	life    *lifecycle.Manager
+	spool   string
 	started time.Time
 
 	reloads        *obs.Counter
@@ -142,6 +155,7 @@ type statusDoc struct {
 	Monitor    ingest.MonitorStats `json:"monitor"`
 	Ingest     ingest.Stats        `json:"ingest"`
 	Traces     uint64              `json:"traces_total"`
+	Lifecycle  *lifecycle.Status   `json:"lifecycle,omitempty"`
 }
 
 // newApp builds the observability plumbing shared by every code path.
@@ -187,17 +201,29 @@ func (a *app) status() any {
 	if a.srv != nil {
 		doc.Ingest = a.srv.Stats()
 	}
+	if a.life != nil {
+		st := a.life.Status()
+		doc.Lifecycle = &st
+	}
 	return doc
 }
 
-// adminMux assembles the admin surface.
+// adminMux assembles the admin surface. With the lifecycle enabled it also
+// mounts the model-management endpoints: GET /models, POST /models/adapt,
+// POST /models/promote, POST /models/rollback.
 func (a *app) adminMux() *http.ServeMux {
-	return obs.NewAdminMux(obs.AdminConfig{
+	mux := obs.NewAdminMux(obs.AdminConfig{
 		Registry: a.reg,
 		Traces:   a.traces,
 		Health:   a.health,
 		Status:   a.status,
 	})
+	if a.life != nil {
+		h := a.life.Handler()
+		mux.Handle("/models", h)
+		mux.Handle("/models/", h)
+	}
+	return mux
 }
 
 // setBundle records the serving model in /statusz.
@@ -227,6 +253,12 @@ func (a *app) reload(model string) error {
 		}
 		return 0
 	})
+	if a.life != nil {
+		// The monitor is already swapped; realign the lifecycle (new
+		// template lineage: spools rebuilt, drift references reset,
+		// pending/previous generations dropped).
+		a.life.SetServing(lifecycle.ModelSetFromBundle(b))
+	}
 	a.reloads.Inc()
 	a.health.SetReady(true, "")
 	a.setBundle(bundleStatus{
@@ -266,16 +298,26 @@ func (a *app) saveCheckpoint(path, reason string) {
 	}
 	a.lastCkptUnix.SetTime(now)
 	a.log.Debug("checkpoint written", "path", path, "reason", reason)
+	// The spool rides along with the checkpoint so the two artifacts agree
+	// on tree lineage; a spool failure never blocks the checkpoint.
+	if a.life != nil && a.spool != "" {
+		if serr := a.life.SaveSpool(a.spool); serr != nil {
+			a.log.Error("spool save failed", "path", a.spool, "err", serr)
+		} else {
+			a.log.Debug("spool written", "path", a.spool, "reason", reason)
+		}
+	}
 }
 
 // loadServing builds the serving model (tree + resolver + cluster mapping +
 // threshold) from a bundle file or, without one, by bootstrap-training on a
-// simulated month.
-func loadServing(a *app, model string, threshold float64, seed int64) (*sigtree.Tree, func(string) *detect.LSTMDetector, func(string) int, float64, error) {
+// simulated month. The returned ModelSet is the same model in the shape the
+// lifecycle manages (nil Assign falls back to cluster 0, like a bundle).
+func loadServing(a *app, model string, threshold float64, seed int64) (*sigtree.Tree, func(string) *detect.LSTMDetector, func(string) int, float64, *lifecycle.ModelSet, error) {
 	if model != "" {
 		b, err := bundle.LoadFile(model)
 		if err != nil {
-			return nil, nil, nil, 0, err
+			return nil, nil, nil, 0, nil, err
 		}
 		if b.Threshold > 0 {
 			threshold = b.Threshold
@@ -296,7 +338,9 @@ func loadServing(a *app, model string, threshold float64, seed int64) (*sigtree.
 			}
 			return 0
 		}
-		return b.Tree, b.DetectorFor, clusterOf, threshold, nil
+		ms := lifecycle.ModelSetFromBundle(b)
+		ms.Threshold = threshold
+		return b.Tree, b.DetectorFor, clusterOf, threshold, ms, nil
 	}
 	// Bootstrap: train on a simulated month of normal fleet traffic.
 	a.log.Info("bootstrapping detector on simulated training archive")
@@ -306,7 +350,7 @@ func loadServing(a *app, model string, threshold float64, seed int64) (*sigtree.
 	simCfg.UpdateMonth = -1
 	trace, err := nfvpredict.Simulate(simCfg)
 	if err != nil {
-		return nil, nil, nil, 0, err
+		return nil, nil, nil, 0, nil, err
 	}
 	ds := pipeline.BuildDataset(trace, simCfg.Start, simCfg.Months)
 	var streams [][]features.Event
@@ -318,7 +362,7 @@ func loadServing(a *app, model string, threshold float64, seed int64) (*sigtree.
 	det := detect.NewLSTMDetector(detect.DefaultLSTMConfig())
 	det.SetMetrics(a.reg, "")
 	if err := det.Train(streams); err != nil {
-		return nil, nil, nil, 0, err
+		return nil, nil, nil, 0, nil, err
 	}
 	a.log.Info("detector trained", "streams", len(streams), "templates", ds.Tree.Len())
 	a.setBundle(bundleStatus{
@@ -328,7 +372,11 @@ func loadServing(a *app, model string, threshold float64, seed int64) (*sigtree.
 		Templates: ds.Tree.Len(),
 		Threshold: threshold,
 	})
-	return ds.Tree, func(string) *detect.LSTMDetector { return det }, nil, threshold, nil
+	ms := &lifecycle.ModelSet{
+		Detectors: []*detect.LSTMDetector{det},
+		Threshold: threshold,
+	}
+	return ds.Tree, func(string) *detect.LSTMDetector { return det }, nil, threshold, ms, nil
 }
 
 func run(o options) error {
@@ -338,7 +386,7 @@ func run(o options) error {
 	}
 	a := newApp(obs.NewLogger(os.Stdout, level), o.traceBuf)
 
-	tree, resolve, clusterOf, threshold, err := loadServing(a, o.model, o.threshold, o.seed)
+	tree, resolve, clusterOf, threshold, ms, err := loadServing(a, o.model, o.threshold, o.seed)
 	if err != nil {
 		return err
 	}
@@ -351,6 +399,18 @@ func run(o options) error {
 	mcfg.Shards = o.shards
 	if mcfg.Shards <= 0 {
 		mcfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	// The lifecycle manager is built before the monitor because the monitor
+	// config needs its Observe hook; the monitor is attached just after.
+	if o.adapt {
+		lcfg := lifecycle.DefaultConfig()
+		lcfg.Interval = o.adaptInterval
+		lcfg.GateBudget = o.adaptGate
+		lcfg.Metrics = a.reg
+		lcfg.Log = log.New(os.Stdout, "", log.LstdFlags)
+		a.life = lifecycle.New(lcfg, ms)
+		a.spool = o.adaptSpool
+		mcfg.OnScored = a.life.Observe
 	}
 	onWarning := func(w nfvpredict.Warning) {
 		a.log.Warn("warning signature", "vpe", w.VPE, "anomalies", w.Size, "first", w.Time)
@@ -377,6 +437,15 @@ func run(o options) error {
 	}
 	if a.mon == nil {
 		a.mon = ingest.NewMonitorWithResolver(mcfg, tree, resolve, onWarning)
+	}
+	if a.life != nil {
+		a.life.Attach(a.mon)
+		if lerr := a.life.LoadSpool(o.adaptSpool); lerr != nil {
+			a.log.Warn("spool unusable, starting cold", "path", o.adaptSpool, "err", lerr)
+		}
+		a.life.Start()
+		defer a.life.Stop()
+		a.log.Info("lifecycle up", "interval", o.adaptInterval, "gate", o.adaptGate)
 	}
 
 	scfg := ingest.DefaultServerConfig()

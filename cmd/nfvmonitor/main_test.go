@@ -15,6 +15,7 @@ import (
 	"nfvpredict/internal/detect"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/ingest"
+	"nfvpredict/internal/lifecycle"
 	"nfvpredict/internal/logfmt"
 	"nfvpredict/internal/obs"
 	"nfvpredict/internal/sigtree"
@@ -210,5 +211,108 @@ func TestAdminTracesExplainInjectedAnomaly(t *testing.T) {
 	}
 	if doc.Monitor.Anomalies != 1 || doc.Traces != 1 {
 		t.Fatalf("statusz counters: %+v", doc)
+	}
+}
+
+// testAppAdapt wires an app the way run() does with -adapt on: lifecycle
+// manager first (the monitor config needs its Observe hook), monitor
+// attached after, /models mounted on the admin mux.
+func testAppAdapt(t *testing.T) (*app, *http.ServeMux) {
+	t.Helper()
+	a := newApp(obs.NewLogger(io.Discard, obs.LevelError), 32)
+	tree, det := trainServing(t)
+	ms := &lifecycle.ModelSet{
+		Detectors: []*detect.LSTMDetector{det},
+		Assign:    map[string]int{"vpe01": 0},
+		Threshold: 4,
+	}
+	lcfg := lifecycle.DefaultConfig()
+	lcfg.Interval = 0 // cycles via /models/adapt only
+	lcfg.GateBudget = 1
+	lcfg.WindowLen = 8
+	lcfg.MinWindows = 4
+	lcfg.Metrics = a.reg
+	a.life = lifecycle.New(lcfg, ms)
+	mcfg := ingest.DefaultMonitorConfig()
+	mcfg.Threshold = ms.Threshold
+	mcfg.Metrics = a.reg
+	mcfg.Traces = a.traces
+	mcfg.ClusterOf = ms.ClusterOf()
+	mcfg.OnScored = a.life.Observe
+	a.mon = ingest.NewMonitorWithResolver(mcfg, tree, ms.Resolver(), nil)
+	a.life.Attach(a.mon)
+	return a, a.adminMux()
+}
+
+// TestAdminLifecycleWiring drives the -adapt runtime surface end to end:
+// scored traffic reaches the spool through the OnScored hook, a forced
+// cycle over POST /models/adapt trains, gates, and promotes a candidate
+// through the monitor's SwapModel path, /statusz grows a lifecycle
+// section, and a bundle hot reload realigns the lifecycle state.
+func TestAdminLifecycleWiring(t *testing.T) {
+	a, mux := testAppAdapt(t)
+	at := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	normal := []string{
+		"bgp keepalive exchanged with peer 10.0.0.1 hold 90",
+		"interface statistics poll completed for ge-0/0/1 in 12 ms",
+		"fpc 0 cpu utilization 20 percent memory 40 percent",
+		"ntp clock synchronized to 10.9.9.9 stratum 2 offset 120 us",
+	}
+	for i := 0; i < 120; i++ {
+		a.mon.HandleMessage(logfmt.Message{Time: at, Host: "vpe01", Tag: "rpd", Text: normal[i%len(normal)]})
+		at = at.Add(30 * time.Second)
+	}
+	if st := a.life.Status(); len(st.SpoolWindows) != 1 || st.SpoolWindows[0] == 0 {
+		t.Fatalf("OnScored hook did not fill the spool: %+v", st)
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/models/adapt", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /models/adapt: %d %s", rec.Code, rec.Body.String())
+	}
+	if a.life.Generation() != 1 {
+		t.Fatalf("generation after adapt = %d, want 1", a.life.Generation())
+	}
+	if got := a.mon.Stats().ModelSwaps; got != 1 {
+		t.Fatalf("ModelSwaps = %d, want 1", got)
+	}
+
+	code, body := get(t, mux, "/models")
+	if code != http.StatusOK || !strings.Contains(body, `"generation": 1`) {
+		t.Fatalf("GET /models: %d %s", code, body)
+	}
+	var doc struct {
+		Lifecycle *lifecycle.Status `json:"lifecycle"`
+	}
+	if _, body = get(t, mux, "/statusz"); json.Unmarshal([]byte(body), &doc) != nil || doc.Lifecycle == nil {
+		t.Fatalf("statusz has no lifecycle section: %s", body)
+	}
+	if doc.Lifecycle.Generation != 1 || !doc.Lifecycle.CanRollback {
+		t.Fatalf("statusz lifecycle: %+v", doc.Lifecycle)
+	}
+
+	// A hot reload realigns the lifecycle: new generation, rollback history
+	// dropped (the old models belong to a different template lineage).
+	tree, det := trainServing(t)
+	good := filepath.Join(t.TempDir(), "good.bundle")
+	gb := &bundle.Bundle{
+		Tree:      tree,
+		Detectors: []*detect.LSTMDetector{det},
+		Assign:    map[string]int{"vpe01": 0},
+		Threshold: 5,
+	}
+	if err := gb.SaveFile(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.reload(good); err != nil {
+		t.Fatal(err)
+	}
+	st := a.life.Status()
+	if st.Generation != 2 || st.CanRollback || st.SpoolWindows[0] != 0 {
+		t.Fatalf("lifecycle not realigned after reload: %+v", st)
+	}
+	if a.life.Serving().Threshold != 5 {
+		t.Fatalf("reload did not install the bundle threshold into the lifecycle: %+v", a.life.Serving())
 	}
 }

@@ -138,6 +138,17 @@ func run(tracePath, ticketsPath, out, startStr string, months, kMax int, admin s
 				streams = append(streams, ev)
 			}
 		}
+		// Ship the cluster's training-time template distribution so the
+		// online lifecycle can measure live drift against it (§3.3's
+		// cosine signal) instead of bootstrapping a baseline from the
+		// first traffic it happens to see.
+		hist := make(map[int]float64)
+		for _, s := range streams {
+			for _, e := range s {
+				hist[e.Template]++
+			}
+		}
+		b.TrainHist = append(b.TrainHist, hist)
 		lcfg := cfg.LSTM
 		lcfg.Seed += int64(ci) * 101
 		det := detect.NewLSTMDetector(lcfg)

@@ -8,7 +8,12 @@
 //	replaylog -trace trace.jsonl -addr 127.0.0.1:5514 -proto udp -speedup 0
 //
 // A speedup of 0 replays as fast as pacing allows; a speedup of 3600
-// compresses an hour of trace time into one second of wall time.
+// compresses an hour of trace time into one second of wall time. -rate
+// paces by throughput instead (messages per second, overriding -speedup),
+// and -loop replays the trace repeatedly — each pass shifts the trace
+// timestamps forward by the trace's span, so a monitor under soak sees one
+// continuous, monotonic stream (lifecycle drift/adaptation soaks run off
+// exactly this).
 package main
 
 import (
@@ -27,16 +32,18 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:5514", "destination address")
 	proto := flag.String("proto", "udp", "udp or tcp")
 	speedup := flag.Float64("speedup", 0, "trace-time compression factor; 0 = as fast as possible")
-	limit := flag.Int("limit", 0, "max messages to send (0 = all)")
+	rate := flag.Float64("rate", 0, "fixed pacing in messages per second (overrides -speedup); 0 = disabled")
+	limit := flag.Int("limit", 0, "max messages to send per pass (0 = all)")
+	loop := flag.Int("loop", 1, "replay passes; timestamps shift forward each pass (0 = loop forever)")
 	flag.Parse()
 
-	if err := run(*tracePath, *addr, *proto, *speedup, *limit); err != nil {
+	if err := run(*tracePath, *addr, *proto, *speedup, *rate, *limit, *loop); err != nil {
 		fmt.Fprintln(os.Stderr, "replaylog:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, addr, proto string, speedup float64, limit int) error {
+func run(tracePath, addr, proto string, speedup, rate float64, limit, loop int) error {
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return err
@@ -60,40 +67,70 @@ func run(tracePath, addr, proto string, speedup float64, limit int) error {
 	defer conn.Close()
 	w := bufio.NewWriter(conn)
 
-	start := time.Now()
+	// Per-pass timestamp shift: the trace span plus the mean inter-message
+	// gap, so the seam between passes looks like one more ordinary gap
+	// rather than a discontinuity (or a repeat of the same instant).
 	traceStart := msgs[0].Time
+	span := msgs[len(msgs)-1].Time.Sub(traceStart)
+	if len(msgs) > 1 {
+		span += span / time.Duration(len(msgs)-1)
+	} else {
+		span += time.Second
+	}
+
+	start := time.Now()
 	sent := 0
-	for i := range msgs {
-		m := &msgs[i]
-		if speedup > 0 {
-			due := start.Add(time.Duration(float64(m.Time.Sub(traceStart)) / speedup))
-			if d := time.Until(due); d > 0 {
-				w.Flush()
-				time.Sleep(d)
+	for pass := 0; loop <= 0 || pass < loop; pass++ {
+		shift := time.Duration(pass) * span
+		for i := range msgs {
+			m := msgs[i]
+			m.Time = m.Time.Add(shift)
+			switch {
+			case rate > 0:
+				due := start.Add(time.Duration(float64(sent) * float64(time.Second) / rate))
+				if d := time.Until(due); d > 0 {
+					w.Flush()
+					time.Sleep(d)
+				}
+			case speedup > 0:
+				due := start.Add(time.Duration(float64(m.Time.Sub(traceStart)) / speedup))
+				if d := time.Until(due); d > 0 {
+					w.Flush()
+					time.Sleep(d)
+				}
+			default:
+				if sent%200 == 0 && proto == "udp" {
+					// UDP has no backpressure; pace full-speed bursts.
+					w.Flush()
+					time.Sleep(2 * time.Millisecond)
+				}
 			}
-		} else if sent%200 == 0 && proto == "udp" {
-			// UDP has no backpressure; pace full-speed bursts.
-			w.Flush()
-			time.Sleep(2 * time.Millisecond)
+			line := m.Format3164()
+			if proto == "tcp" {
+				// RFC 6587 octet counting.
+				if _, err := fmt.Fprintf(w, "%d %s", len(line), line); err != nil {
+					return err
+				}
+			} else {
+				w.Flush() // one datagram per message
+				if _, err := conn.Write([]byte(line)); err != nil {
+					return err
+				}
+			}
+			sent++
 		}
-		line := m.Format3164()
-		if proto == "tcp" {
-			// RFC 6587 octet counting.
-			if _, err := fmt.Fprintf(w, "%d %s", len(line), line); err != nil {
+		if loop != 1 {
+			if err := w.Flush(); err != nil {
 				return err
 			}
-		} else {
-			w.Flush() // one datagram per message
-			if _, err := conn.Write([]byte(line)); err != nil {
-				return err
-			}
+			fmt.Printf("pass %d done: %d messages sent\n", pass+1, sent)
 		}
-		sent++
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Printf("replayed %d messages (%s trace time) in %v\n",
-		sent, msgs[len(msgs)-1].Time.Sub(traceStart).Round(time.Second), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("replayed %d messages (%d passes, %s trace time per pass) in %v\n",
+		sent, sent/len(msgs), msgs[len(msgs)-1].Time.Sub(traceStart).Round(time.Second),
+		time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -49,6 +49,15 @@ type Bundle struct {
 	// Threshold is the recommended operating threshold (best-F from the
 	// training evaluation).
 	Threshold float64
+	// TrainHist, when present, holds one template-frequency histogram per
+	// cluster (template ID → count over that cluster's training data) —
+	// the training-time distribution the online lifecycle compares live
+	// traffic against for drift detection. Optional: bundles written
+	// before this field (or by trainers that skip it) load with a nil
+	// slice, and the lifecycle falls back to capturing a live baseline.
+	// Gob tolerates the field in both directions, so the format version
+	// is unchanged.
+	TrainHist []map[int]float64
 }
 
 // DetectorFor returns the detector responsible for host.
@@ -87,6 +96,10 @@ func (b *Bundle) Validate() error {
 	if b.Threshold < 0 || math.IsNaN(b.Threshold) {
 		return fmt.Errorf("bundle: invalid threshold %v (must be >= 0)", b.Threshold)
 	}
+	if len(b.TrainHist) != 0 && len(b.TrainHist) != len(b.Detectors) {
+		return fmt.Errorf("bundle: %d training histograms for %d detectors (must match or be absent)",
+			len(b.TrainHist), len(b.Detectors))
+	}
 	return nil
 }
 
@@ -97,6 +110,7 @@ type wire struct {
 	Detectors [][]byte
 	Assign    map[string]int
 	Threshold float64
+	TrainHist []map[int]float64
 }
 
 // Save serializes the bundle to w in the framed format: magic, version,
@@ -120,6 +134,7 @@ func (b *Bundle) Save(w io.Writer) error {
 	}
 	wf.Assign = b.Assign
 	wf.Threshold = b.Threshold
+	wf.TrainHist = b.TrainHist
 
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(&wf); err != nil {
@@ -157,7 +172,7 @@ func Load(r io.Reader) (*Bundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bundle: loading tree: %w", err)
 	}
-	b := &Bundle{Tree: tree, Assign: wf.Assign, Threshold: wf.Threshold}
+	b := &Bundle{Tree: tree, Assign: wf.Assign, Threshold: wf.Threshold, TrainHist: wf.TrainHist}
 	for i, raw := range wf.Detectors {
 		d, err := detect.LoadLSTMDetector(bytes.NewReader(raw))
 		if err != nil {

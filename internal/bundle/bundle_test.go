@@ -271,3 +271,44 @@ func TestSaveFileAtomicAndLoadFile(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTrainHistRoundTrip: the optional per-cluster training histograms
+// survive Save/Load, their absence is accepted (backward compatibility —
+// pre-TrainHist bundles decode to a nil slice), and a count mismatched
+// against the detectors is rejected.
+func TestTrainHistRoundTrip(t *testing.T) {
+	b := trainedBundle(t)
+	b.TrainHist = []map[int]float64{{0: 200, 1: 200, 2: 199}}
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.TrainHist) != 1 || loaded.TrainHist[0][0] != 200 || loaded.TrainHist[0][2] != 199 {
+		t.Fatalf("training histogram did not round-trip: %+v", loaded.TrainHist)
+	}
+
+	// Absent histograms stay absent.
+	b2 := trainedBundle(t)
+	buf.Reset()
+	if err := b2.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded, err = Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TrainHist != nil {
+		t.Fatalf("absent TrainHist loaded as %+v", loaded.TrainHist)
+	}
+
+	// Mismatched count is a validation error on both Save and Load.
+	b3 := trainedBundle(t)
+	b3.TrainHist = []map[int]float64{{0: 1}, {1: 1}}
+	buf.Reset()
+	if err := b3.Save(&buf); err == nil || !strings.Contains(err.Error(), "histograms") {
+		t.Fatalf("mismatched TrainHist saved: %v", err)
+	}
+}

@@ -187,6 +187,37 @@ func (d *LSTMDetector) rebuildTrainer() {
 // serialization paths and tests.
 func (d *LSTMDetector) Model() *nn.SequenceModel { return d.model }
 
+// Clone returns a deep, independently trainable copy of a trained
+// detector — the candidate-building primitive of the online lifecycle: the
+// clone can Update/Adapt in a background goroutine while the original
+// keeps serving, sharing no mutable state (weights, vocabulary, optimizer
+// moments, RNG, and scratch are all copied or fresh). The clone starts
+// with fresh optimizer moments and a Seed-reset RNG, like a detector
+// loaded from disk, and carries no metrics registry — call SetMetrics on
+// it (e.g. through an obs.Scope prefix) if its training should be
+// observable. Cloning an untrained detector returns an untrained detector.
+func (d *LSTMDetector) Clone() *LSTMDetector {
+	out := NewLSTMDetector(d.cfg)
+	if d.model == nil {
+		return out
+	}
+	out.model = d.model.Clone()
+	out.vocab = d.vocab.Clone()
+	out.opt = nn.NewAdam(d.cfg.LR, d.cfg.Clip)
+	out.rebuildTrainer()
+	return out
+}
+
+// Fingerprint returns the underlying model's weight fingerprint (0 for an
+// untrained detector), the generation identity reported by the lifecycle
+// /models listing.
+func (d *LSTMDetector) Fingerprint() uint64 {
+	if d.model == nil {
+		return 0
+	}
+	return d.model.Fingerprint()
+}
+
 // tokenize converts an event stream into model tokens.
 func (d *LSTMDetector) tokenize(stream []features.Event) []nn.Token {
 	toks := make([]nn.Token, len(stream))

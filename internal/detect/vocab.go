@@ -72,6 +72,17 @@ func (v *Vocabulary) Assign(streams [][]features.Event) {
 	}
 }
 
+// Clone returns an independent copy of the vocabulary. Assign on the
+// clone (a candidate detector absorbing post-update templates) must never
+// leak slots into the original, which may be serving concurrently.
+func (v *Vocabulary) Clone() *Vocabulary {
+	out := &Vocabulary{index: make(map[int]int, len(v.index)), capacity: v.capacity}
+	for k, c := range v.index {
+		out.index[k] = c
+	}
+	return out
+}
+
 // Size returns the fixed class capacity (model width).
 func (v *Vocabulary) Size() int { return v.capacity }
 

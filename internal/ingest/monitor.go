@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nfvpredict/internal/detect"
+	"nfvpredict/internal/features"
 	"nfvpredict/internal/logfmt"
 	"nfvpredict/internal/obs"
 	"nfvpredict/internal/sigtree"
@@ -70,6 +71,17 @@ type MonitorConfig struct {
 	// trace identity (bundle deployments pass the bundle assignment);
 	// unmapped or nil reports cluster -1.
 	ClusterOf func(host string) int
+	// OnScored, when set, observes every scored message after threshold
+	// evaluation: the host, its model cluster (via ClusterOf, clamped to
+	// 0 when unmapped), the extracted template event, the anomaly score,
+	// whether the score crossed the threshold, and whether the message
+	// sits in a warning-sized anomaly cluster (burst — the §5.1 rule, the
+	// runtime proxy for "near a fault"). The hook runs synchronously
+	// under the host's shard lock: implementations must be O(1)-cheap and
+	// must never call back into the Monitor (SwapModel and friends take
+	// every shard lock and would deadlock). The lifecycle spool is the
+	// intended consumer.
+	OnScored func(host string, cluster int, ev features.Event, score float64, anomalous, burst bool)
 }
 
 // DefaultMaxHosts bounds per-host monitor state when MonitorConfig.MaxHosts
@@ -466,6 +478,27 @@ func (m *Monitor) SwapModel(tree *sigtree.Tree, resolve func(host string) *detec
 	m.activeHosts.SetInt(0)
 	m.swaps.Inc()
 	m.unlockAll()
+}
+
+// Tree returns the serving signature tree. The tree is shared, mutable,
+// and guarded by the monitor's internal lock; the only safe uses of the
+// returned pointer are handing it back to SwapModel (a promotion that
+// keeps the current template space) and read-only access while scoring is
+// stopped.
+func (m *Monitor) Tree() *sigtree.Tree {
+	m.treeMu.Lock()
+	defer m.treeMu.Unlock()
+	return m.tree
+}
+
+// TreeFingerprint returns the serving tree's lineage fingerprint, computed
+// under the tree lock — the stamp persistent artifacts that record
+// template IDs (the lifecycle spool) carry, so a restart can verify the
+// IDs still mean what they meant when spooled.
+func (m *Monitor) TreeFingerprint() uint64 {
+	m.treeMu.Lock()
+	defer m.treeMu.Unlock()
+	return m.tree.Fingerprint()
 }
 
 // SetClusterOf replaces the host→cluster mapping used for trace identity,

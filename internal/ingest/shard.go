@@ -85,8 +85,8 @@ func (sh *shard) handleLocked(msg logfmt.Message) {
 }
 
 // afterScore is everything downstream of a score: the score histogram, the
-// trace context ring, the threshold check, anomaly clustering, and the
-// decision trace. Caller holds sh.mu.
+// trace context ring, the threshold check, anomaly clustering, the OnScored
+// hook, and the decision trace. Caller holds sh.mu.
 func (sh *shard) afterScore(msg logfmt.Message, tplID int, hs *hostState, score float64) {
 	m := sh.m
 	m.scoreHist.Observe(score)
@@ -94,10 +94,19 @@ func (sh *shard) afterScore(msg logfmt.Message, tplID int, hs *hostState, score 
 		hs.record(obs.TraceStep{Time: msg.Time, Template: tplID, LogProb: -score})
 	}
 	if score <= sh.threshold {
+		if m.cfg.OnScored != nil {
+			m.cfg.OnScored(msg.Host, sh.clusterIndex(msg.Host),
+				features.Event{Time: msg.Time, Template: tplID}, score, false, false)
+		}
 		return
 	}
 	m.anoms.Inc()
 	size, warned := sh.observeAnomaly(hs, msg.Time)
+	if m.cfg.OnScored != nil {
+		m.cfg.OnScored(msg.Host, sh.clusterIndex(msg.Host),
+			features.Event{Time: msg.Time, Template: tplID}, score, true,
+			size >= m.cfg.MinClusterSize)
+	}
 	if m.cfg.Traces != nil {
 		cluster := -1
 		if sh.clusterOf != nil {
@@ -116,6 +125,18 @@ func (sh *shard) afterScore(msg logfmt.Message, tplID int, hs *hostState, score 
 			Warning:     warned,
 		})
 	}
+}
+
+// clusterIndex maps a host to its model cluster for the OnScored hook:
+// ClusterOf when set, clamped to 0 for unmapped hosts (which the resolver
+// also routes to cluster 0's detector). Caller holds sh.mu.
+func (sh *shard) clusterIndex(host string) int {
+	if sh.clusterOf != nil {
+		if ci := sh.clusterOf(host); ci >= 0 {
+			return ci
+		}
+	}
+	return 0
 }
 
 // hostFor returns the (possibly new) state for host, refreshing its LRU

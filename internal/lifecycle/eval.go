@@ -1,0 +1,59 @@
+package lifecycle
+
+import (
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/features"
+)
+
+// falseAlarmRate replays held-out normal windows through det and returns
+// the fraction of events scored above thr — the shadow-evaluation metric
+// the promotion gate budgets. The first event of each window is excluded:
+// Score pins it to 0 (no context yet), so counting it would dilute the
+// rate by exactly one guaranteed pass per window.
+//
+// The windows come from the spool, which already excludes burst (fault)
+// traffic, so every alarm here is a false alarm by construction.
+func falseAlarmRate(det *detect.LSTMDetector, wins [][]features.Event, thr float64) float64 {
+	var above, total int
+	for _, w := range wins {
+		for i, s := range det.Score("shadow", w) {
+			if i == 0 {
+				continue
+			}
+			total++
+			if s.Score > thr {
+				above++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(above) / float64(total)
+}
+
+// splitHoldout partitions spooled windows into training and held-out sets
+// for the shadow gate. Every k-th window is held out (k ≈ 1/frac), so the
+// holdout interleaves with training in time rather than being the newest
+// tail — a tail-only holdout would judge the candidate on traffic from a
+// regime the training set barely saw.
+func splitHoldout(wins [][]features.Event, frac float64) (train, holdout [][]features.Event) {
+	if frac <= 0 || frac >= 1 {
+		frac = 0.25
+	}
+	k := int(1/frac + 0.5)
+	if k < 2 {
+		k = 2
+	}
+	for i, w := range wins {
+		if i%k == k-1 {
+			holdout = append(holdout, w)
+		} else {
+			train = append(train, w)
+		}
+	}
+	if len(train) == 0 {
+		return wins, nil
+	}
+	return train, holdout
+}

@@ -1,0 +1,776 @@
+// Package lifecycle closes the paper's adaptation loop online. Offline,
+// the pipeline retrains monthly and reaches for transfer learning after a
+// disruptive software update (§4.3–§4.4); lifecycle runs the same loop
+// inside the monitor process. A Manager spools recent normal scored
+// windows per cluster (fault-burst traffic excluded), watches the live
+// template distribution for drift against the training-time distribution
+// (§3.3's update signature: month-over-month cosine similarity collapsing),
+// fine-tunes a *candidate* detector in the background when drift or a
+// schedule demands it — transfer adaptation with frozen bottom layers when
+// the drift is disruptive, a plain incremental update otherwise — and
+// shadow-evaluates the candidate by replaying held-out spooled traffic
+// through both models. Promotion is gated on the candidate's false-alarm
+// rate fitting a budget, goes through the monitor's SwapModel lockAll path
+// (no message ever scores against a half-swapped model), and keeps the
+// previous generation for one-step rollback.
+package lifecycle
+
+import (
+	"errors"
+	"log"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nfvpredict/internal/bundle"
+	"nfvpredict/internal/cluster"
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/ingest"
+	"nfvpredict/internal/obs"
+)
+
+// Config parameterizes a lifecycle Manager.
+type Config struct {
+	// Interval is the cycle period; each cycle checks drift and, when
+	// triggered, adapts and gates a candidate. <= 0 disables the timer —
+	// cycles then run only via TriggerCycle (tests, admin).
+	Interval time.Duration
+	// GateBudget is the promotion gate: a candidate is promoted only if
+	// its false-alarm rate on held-out spooled normal windows is <= this.
+	GateBudget float64
+	// WindowLen is the number of events per spooled window.
+	WindowLen int
+	// SpoolPerCluster bounds the completed windows retained per cluster.
+	SpoolPerCluster int
+	// MinWindows is the spool floor below which a cluster never adapts
+	// (too little data to fine-tune or gate on).
+	MinWindows int
+	// DriftThreshold triggers adaptation when the live-vs-training cosine
+	// similarity falls below it (mirrors pipeline.Config.DriftThreshold).
+	DriftThreshold float64
+	// DisruptiveThreshold selects the adaptation mode: cosine below it
+	// means the update rewrote the template distribution (§3.3 observes
+	// >0.8 collapsing to <0.4), so the candidate uses transfer adaptation
+	// (Adapt: vocabulary extension + frozen bottom layers) instead of a
+	// plain incremental update.
+	DisruptiveThreshold float64
+	// MinDriftEvents is the live-histogram mass required before the drift
+	// comparison is trusted (a near-empty histogram is all noise).
+	MinDriftEvents int
+	// AdaptEveryCycles schedules a fine-tune every N cycles even without
+	// drift (the paper's monthly incremental update, §4.3); 0 disables
+	// scheduled adaptation (drift-triggered only).
+	AdaptEveryCycles int
+	// HoldoutFraction is the share of spooled windows held out from
+	// candidate training and used for the shadow gate.
+	HoldoutFraction float64
+	// AutoPromote promotes gate-passing candidates immediately. When
+	// false, candidates that pass are retained as pending and promoted
+	// only via ForcePromote (the POST /models/promote endpoint).
+	AutoPromote bool
+	// Metrics, when set, receives the lifecycle_* instrument family and
+	// the candidate detectors' candidate_lstm_* training metrics.
+	Metrics *obs.Registry
+	// Log, when set, receives one line per lifecycle decision.
+	Log *log.Logger
+	// Clock stamps generations and cycle results; nil means time.Now.
+	Clock func() time.Time
+}
+
+// DefaultConfig returns the serving-scale defaults.
+func DefaultConfig() Config {
+	return Config{
+		Interval:            10 * time.Minute,
+		GateBudget:          0.02,
+		WindowLen:           32,
+		SpoolPerCluster:     256,
+		MinWindows:          24,
+		DriftThreshold:      0.7,
+		DisruptiveThreshold: 0.4,
+		MinDriftEvents:      128,
+		HoldoutFraction:     0.25,
+		AutoPromote:         true,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.WindowLen < 2 {
+		c.WindowLen = d.WindowLen
+	}
+	if c.SpoolPerCluster <= 0 {
+		c.SpoolPerCluster = d.SpoolPerCluster
+	}
+	if c.MinWindows <= 0 {
+		c.MinWindows = d.MinWindows
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = d.DriftThreshold
+	}
+	if c.DisruptiveThreshold <= 0 {
+		c.DisruptiveThreshold = d.DisruptiveThreshold
+	}
+	if c.MinDriftEvents <= 0 {
+		c.MinDriftEvents = d.MinDriftEvents
+	}
+	if c.HoldoutFraction <= 0 || c.HoldoutFraction >= 1 {
+		c.HoldoutFraction = d.HoldoutFraction
+	}
+	if c.GateBudget < 0 {
+		c.GateBudget = d.GateBudget
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// ModelSet is one deployable model generation: what the monitor serves,
+// and what a promotion atomically replaces.
+type ModelSet struct {
+	// Detectors holds one detector per cluster.
+	Detectors []*detect.LSTMDetector
+	// Assign maps hosts to cluster indices (unmapped hosts fall back to
+	// cluster 0, matching bundle semantics).
+	Assign map[string]int
+	// Threshold is the serving anomaly threshold, also used by the gate.
+	Threshold float64
+	// TrainHist, when present, is the training-time template distribution
+	// per cluster — the drift reference. Absent, the lifecycle captures a
+	// live baseline from the first full cycle.
+	TrainHist []cluster.Histogram
+}
+
+// ModelSetFromBundle adapts a loaded deployment bundle.
+func ModelSetFromBundle(b *bundle.Bundle) *ModelSet {
+	ms := &ModelSet{
+		Detectors: append([]*detect.LSTMDetector(nil), b.Detectors...),
+		Assign:    b.Assign,
+		Threshold: b.Threshold,
+	}
+	for _, h := range b.TrainHist {
+		ms.TrainHist = append(ms.TrainHist, cluster.Histogram(h))
+	}
+	return ms
+}
+
+// Resolver returns the host→detector function in the form
+// ingest.NewMonitorWithResolver and Monitor.SwapModel expect.
+func (ms *ModelSet) Resolver() func(host string) *detect.LSTMDetector {
+	return func(host string) *detect.LSTMDetector {
+		if len(ms.Detectors) == 0 {
+			return nil
+		}
+		ci, ok := ms.Assign[host]
+		if !ok || ci < 0 || ci >= len(ms.Detectors) {
+			ci = 0
+		}
+		return ms.Detectors[ci]
+	}
+}
+
+// ClusterOf returns the host→cluster function for monitor trace identity
+// (-1 for unmapped hosts, matching MonitorConfig.ClusterOf semantics).
+func (ms *ModelSet) ClusterOf() func(host string) int {
+	return func(host string) int {
+		if ci, ok := ms.Assign[host]; ok {
+			return ci
+		}
+		return -1
+	}
+}
+
+// clone returns a copy sharing everything but the Detectors slice, the
+// promotion primitive: replace one cluster's detector without mutating the
+// generation still referenced as "previous".
+func (ms *ModelSet) clone() *ModelSet {
+	out := *ms
+	out.Detectors = append([]*detect.LSTMDetector(nil), ms.Detectors...)
+	return &out
+}
+
+// Generation is one entry in the lifecycle's audit log: every adaptation
+// attempt, promotion, rejection, rollback, and reload.
+type Generation struct {
+	ID   int       `json:"id"`
+	Time time.Time `json:"time"`
+	// Cluster is the cluster the record concerns, or -1 for whole-set
+	// events (rollback, reload, forced promotion).
+	Cluster int `json:"cluster"`
+	// Reason is what initiated the cycle or event: "drift", "scheduled",
+	// "forced", "rollback", "reload".
+	Reason string `json:"reason"`
+	// Mode is the adaptation mode used, "adapt" (transfer) or "update"
+	// (incremental); empty for non-adaptation records.
+	Mode string `json:"mode,omitempty"`
+	// DriftCos is the live-vs-reference cosine similarity at decision
+	// time (NaN serialized as -1 when unknown).
+	DriftCos float64 `json:"drift_cos"`
+	// CandidateFAR and StaleFAR are the shadow false-alarm rates of the
+	// candidate and the then-serving detector on the held-out windows.
+	CandidateFAR float64 `json:"candidate_far"`
+	StaleFAR     float64 `json:"stale_far"`
+	// GatePassed reports whether CandidateFAR fit the budget.
+	GatePassed bool `json:"gate_passed"`
+	// Promoted reports whether this record changed the serving set.
+	Promoted bool `json:"promoted"`
+	// Fingerprint identifies the candidate detector's weights.
+	Fingerprint uint64 `json:"fingerprint,omitempty"`
+}
+
+// ClusterCycle is one cluster's outcome within a cycle.
+type ClusterCycle struct {
+	Cluster      int
+	Windows      int     // clean windows spooled at cycle time
+	Quarantined  int     // burst-containing windows held in quarantine
+	DriftCos     float64 // NaN when not computed
+	Drifted      bool
+	Disruptive   bool
+	Adapted      bool
+	Mode         string
+	CandidateFAR float64
+	StaleFAR     float64
+	GatePassed   bool
+	Err          error
+}
+
+// CycleResult summarizes one lifecycle cycle.
+type CycleResult struct {
+	Time     time.Time
+	Forced   bool
+	Aborted  bool // serving set changed mid-cycle; candidates discarded
+	Promoted bool
+	Clusters []ClusterCycle
+}
+
+// Manager runs the online lifecycle. Construct with New, feed it scored
+// traffic by installing Observe as the monitor's OnScored hook, Attach the
+// monitor, then Start the cycle timer (or drive cycles explicitly with
+// TriggerCycle).
+type Manager struct {
+	cfg Config
+	reg *obs.Registry
+
+	// spools is swapped wholesale on reload; Observe only ever touches
+	// the spoolSet and its per-cluster mutexes, never mu — it runs under
+	// a monitor shard lock, and mu is held around SwapModel (which takes
+	// every shard lock), so taking mu here would deadlock.
+	spools atomic.Pointer[spoolSet]
+
+	// mu guards the generation state below.
+	mu         sync.Mutex
+	mon        *ingest.Monitor
+	serving    *ModelSet
+	prev       *ModelSet
+	pending    map[int]*detect.LSTMDetector
+	refs       []cluster.Histogram
+	gens       []Generation
+	genSeq     int
+	generation int
+	cycleNum   int
+
+	// cycleMu serializes cycles (timer ticks, TriggerCycle, admin).
+	cycleMu sync.Mutex
+
+	lifeMu  sync.Mutex
+	running bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+
+	cyclesC      *obs.Counter
+	adaptsC      *obs.Counter
+	promosC      *obs.Counter
+	rejectsC     *obs.Counter
+	rollbacksC   *obs.Counter
+	driftC       *obs.Counter
+	quarC        *obs.Counter
+	adaptSeconds *obs.Histogram
+	gateDelta    *obs.Histogram
+	genGauge     *obs.Gauge
+	spoolGauges  []*obs.Gauge
+	driftGauges  []*obs.Gauge
+}
+
+// New builds a Manager serving ms. Wire m.Observe into the monitor's
+// MonitorConfig.OnScored before constructing the monitor, then call
+// Attach.
+func New(cfg Config, ms *ModelSet) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:     cfg,
+		serving: ms,
+		pending: make(map[int]*detect.LSTMDetector),
+		refs:    refsFrom(ms),
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m.reg = reg
+	s := reg.Scope("lifecycle_")
+	m.cyclesC = s.Counter("cycles_total", "Lifecycle cycles run (timer + forced).")
+	m.adaptsC = s.Counter("adaptations_total", "Candidate fine-tunes started (adapt + update modes).")
+	m.promosC = s.Counter("promotions_total", "Candidates promoted to serving.")
+	m.rejectsC = s.Counter("rejections_total", "Candidates rejected by the false-alarm gate.")
+	m.rollbacksC = s.Counter("rollbacks_total", "One-step rollbacks to the previous generation.")
+	m.driftC = s.Counter("drift_total", "Cycles in which a cluster's live distribution read as drifted.")
+	m.quarC = s.Counter("windows_quarantined_total", "Completed windows quarantined for containing burst (fault-proximate) traffic.")
+	m.adaptSeconds = s.Histogram("adapt_seconds", "Wall time of one candidate fine-tune (training only).",
+		obs.ExpBuckets(0.01, 4, 10))
+	m.gateDelta = s.Histogram("gate_delta", "Candidate minus stale false-alarm rate at the gate (negative = candidate better).",
+		obs.LinearBuckets(-0.5, 0.05, 21))
+	m.genGauge = s.Gauge("generation", "Monotonic serving-model generation number.")
+	m.buildClusterInstruments(len(ms.Detectors))
+	m.spools.Store(newSpoolSet(len(ms.Detectors), cfg.WindowLen, cfg.SpoolPerCluster))
+	return m
+}
+
+func refsFrom(ms *ModelSet) []cluster.Histogram {
+	refs := make([]cluster.Histogram, len(ms.Detectors))
+	copy(refs, ms.TrainHist)
+	return refs
+}
+
+func (m *Manager) buildClusterInstruments(n int) {
+	m.spoolGauges = make([]*obs.Gauge, n)
+	m.driftGauges = make([]*obs.Gauge, n)
+	for i := 0; i < n; i++ {
+		ci := strconv.Itoa(i)
+		m.spoolGauges[i] = m.reg.Gauge(obs.LabelName("lifecycle_spool_windows", "cluster", ci),
+			"Completed normal windows spooled for this cluster.")
+		m.driftGauges[i] = m.reg.Gauge(obs.LabelName("lifecycle_drift_cosine", "cluster", ci),
+			"Live-vs-training template-distribution cosine similarity at the last cycle.")
+	}
+}
+
+// Attach hands the Manager the monitor it promotes into. Separate from New
+// because construction is circular: the monitor needs Observe at build
+// time, the Manager needs the monitor for SwapModel.
+func (m *Manager) Attach(mon *ingest.Monitor) {
+	m.mu.Lock()
+	m.mon = mon
+	m.mu.Unlock()
+}
+
+// Observe is the ingest.MonitorConfig.OnScored hook. It runs under the
+// host's shard lock: O(1), spool-local, and it must never call back into
+// the Monitor or take m.mu.
+func (m *Manager) Observe(host string, ci int, ev features.Event, score float64, anomalous, burst bool) {
+	ss := m.spools.Load()
+	if ss == nil || len(ss.clusters) == 0 {
+		return
+	}
+	if ci < 0 || ci >= len(ss.clusters) {
+		ci = 0
+	}
+	ss.clusters[ci].observe(host, ev, burst)
+}
+
+// Start launches the cycle timer; no-op when Interval <= 0 or already
+// running.
+func (m *Manager) Start() {
+	if m.cfg.Interval <= 0 {
+		return
+	}
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
+	if m.running {
+		return
+	}
+	m.running = true
+	m.stopCh = make(chan struct{})
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(m.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.runCycle(false)
+			case <-m.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the cycle timer and waits for an in-flight cycle to finish.
+func (m *Manager) Stop() {
+	m.lifeMu.Lock()
+	if !m.running {
+		m.lifeMu.Unlock()
+		return
+	}
+	m.running = false
+	close(m.stopCh)
+	m.lifeMu.Unlock()
+	m.wg.Wait()
+	m.cycleMu.Lock() // barrier: a timer-fired cycle may still be draining
+	m.cycleMu.Unlock()
+}
+
+// TriggerCycle runs one cycle synchronously. force makes every cluster
+// with enough spooled windows adapt regardless of drift or schedule — the
+// admin/test lever.
+func (m *Manager) TriggerCycle(force bool) CycleResult {
+	return m.runCycle(force)
+}
+
+func (m *Manager) runCycle(force bool) CycleResult {
+	m.cycleMu.Lock()
+	defer m.cycleMu.Unlock()
+	m.cyclesC.Inc()
+
+	m.mu.Lock()
+	serving := m.serving
+	cycle := m.cycleNum
+	m.cycleNum++
+	refs := append([]cluster.Histogram(nil), m.refs...)
+	m.mu.Unlock()
+
+	res := CycleResult{Time: m.cfg.Clock(), Forced: force}
+	ss := m.spools.Load()
+	scheduled := m.cfg.AdaptEveryCycles > 0 && cycle > 0 && cycle%m.cfg.AdaptEveryCycles == 0
+
+	type outcome struct {
+		cc        ClusterCycle
+		candidate *detect.LSTMDetector
+		liveHist  cluster.Histogram
+		baseline  bool // liveHist captured as a new drift baseline only
+	}
+	var outs []outcome
+	var quarSum uint64
+
+	for ci, cs := range ss.clusters {
+		clean, quar, hist := cs.snapshot(true)
+		quarSum += cs.quarantinedTotal()
+		if ci < len(m.spoolGauges) {
+			m.spoolGauges[ci].SetInt(len(clean))
+		}
+		cc := ClusterCycle{Cluster: ci, Windows: len(clean), Quarantined: len(quar), DriftCos: math.NaN()}
+		var ref cluster.Histogram
+		if ci < len(refs) {
+			ref = refs[ci]
+		}
+		enoughLive := hist.Total() >= float64(m.cfg.MinDriftEvents)
+		baseline := false
+		if ref == nil {
+			if enoughLive {
+				// No training-time distribution shipped with the model:
+				// adopt the first full live histogram as the baseline and
+				// judge drift from the next cycle on. Forced and scheduled
+				// adaptation still proceed below — only the drift signal
+				// has nothing to compare against yet.
+				baseline = true
+				m.logf("lifecycle: cluster %d captured live drift baseline (%d events)", ci, int(hist.Total()))
+			}
+		} else if enoughLive {
+			cc.DriftCos = cluster.Cosine(hist, ref)
+			cc.Drifted = cc.DriftCos < m.cfg.DriftThreshold
+			cc.Disruptive = cc.DriftCos < m.cfg.DisruptiveThreshold
+			if ci < len(m.driftGauges) {
+				m.driftGauges[ci].Set(cc.DriftCos)
+			}
+			if cc.Drifted {
+				m.driftC.Inc()
+				m.logf("lifecycle: cluster %d drifted (cosine %.3f < %.3f, disruptive=%v)",
+					ci, cc.DriftCos, m.cfg.DriftThreshold, cc.Disruptive)
+			}
+		}
+
+		// The adaptation pool: clean windows always; quarantined windows
+		// only when the drift signal (or a forced cycle) attributes their
+		// bursts to a distribution shift rather than a fault. Without
+		// drift, quarantined traffic is presumed fault-proximate and never
+		// trains anything.
+		pool := clean
+		if (force || cc.Drifted) && len(quar) > 0 {
+			pool = append(append([][]features.Event{}, clean...), quar...)
+		}
+		trigger := force || cc.Drifted || scheduled
+		if !trigger || len(pool) < m.cfg.MinWindows || ci >= len(serving.Detectors) {
+			outs = append(outs, outcome{cc: cc, liveHist: hist, baseline: baseline})
+			continue
+		}
+
+		// Fine-tune a candidate in the clear: the clone shares no mutable
+		// state with the serving detector, so scoring continues unharmed.
+		train, holdout := splitHoldout(pool, m.cfg.HoldoutFraction)
+		stale := serving.Detectors[ci]
+		cand := stale.Clone()
+		cand.SetMetrics(m.cfg.Metrics, "candidate_")
+		cc.Mode = "update"
+		if cc.Disruptive {
+			cc.Mode = "adapt"
+		}
+		start := m.adaptSeconds.Start()
+		var err error
+		if cc.Mode == "adapt" {
+			err = cand.Adapt(train)
+		} else {
+			err = cand.Update(train)
+		}
+		m.adaptSeconds.ObserveDuration(start)
+		m.adaptsC.Inc()
+		if err != nil {
+			cc.Err = err
+			m.logf("lifecycle: cluster %d %s failed: %v", ci, cc.Mode, err)
+			outs = append(outs, outcome{cc: cc, liveHist: hist, baseline: baseline})
+			continue
+		}
+		cc.Adapted = true
+		cc.CandidateFAR = falseAlarmRate(cand, holdout, serving.Threshold)
+		cc.StaleFAR = falseAlarmRate(stale, holdout, serving.Threshold)
+		m.gateDelta.Observe(cc.CandidateFAR - cc.StaleFAR)
+		cc.GatePassed = cc.CandidateFAR <= m.cfg.GateBudget
+		m.logf("lifecycle: cluster %d %s candidate FAR %.4f (stale %.4f, budget %.4f) gate=%v",
+			ci, cc.Mode, cc.CandidateFAR, cc.StaleFAR, m.cfg.GateBudget, cc.GatePassed)
+		outs = append(outs, outcome{cc: cc, candidate: cand, liveHist: hist, baseline: baseline})
+	}
+	m.quarC.Store(quarSum)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.serving != serving {
+		// A reload replaced the serving set mid-cycle; the candidates were
+		// trained against a stale lineage. Drop everything.
+		res.Aborted = true
+		for _, o := range outs {
+			res.Clusters = append(res.Clusters, o.cc)
+		}
+		return res
+	}
+	reason := "drift"
+	if scheduled {
+		reason = "scheduled"
+	}
+	if force {
+		reason = "forced"
+	}
+	var next *ModelSet
+	for _, o := range outs {
+		res.Clusters = append(res.Clusters, o.cc)
+		if o.baseline {
+			m.refs[o.cc.Cluster] = o.liveHist
+		}
+		if !o.cc.Adapted {
+			continue
+		}
+		gen := Generation{
+			Time:         res.Time,
+			Cluster:      o.cc.Cluster,
+			Reason:       reason,
+			Mode:         o.cc.Mode,
+			DriftCos:     o.cc.DriftCos,
+			CandidateFAR: o.cc.CandidateFAR,
+			StaleFAR:     o.cc.StaleFAR,
+			GatePassed:   o.cc.GatePassed,
+			Fingerprint:  o.candidate.Fingerprint(),
+		}
+		switch {
+		case o.cc.GatePassed && m.cfg.AutoPromote:
+			if next == nil {
+				next = serving.clone()
+			}
+			next.Detectors[o.cc.Cluster] = o.candidate
+			// The distribution we just adapted to is the new normal;
+			// re-referencing it stops the drift signal from re-firing
+			// every cycle against the pre-update histogram.
+			m.refs[o.cc.Cluster] = o.liveHist
+			delete(m.pending, o.cc.Cluster)
+			gen.Promoted = true
+		case o.cc.GatePassed:
+			// Gate passed but auto-promotion is off: hold for the
+			// operator (POST /models/promote).
+			m.pending[o.cc.Cluster] = o.candidate
+		default:
+			m.rejectsC.Inc()
+			// Retain the rejected candidate so an operator who disagrees
+			// with the gate can still force it.
+			m.pending[o.cc.Cluster] = o.candidate
+		}
+		m.recordLocked(gen)
+	}
+	if next != nil {
+		m.promoteLocked(next, reason)
+		res.Promoted = true
+	}
+	return res
+}
+
+// promoteLocked installs next as the serving set, keeping the old one for
+// rollback, and swaps the monitor atomically (SwapModel holds every shard
+// lock, so no message scores against a half-swapped model). The current
+// tree is kept: candidates were trained in the serving template space.
+// Caller holds m.mu.
+func (m *Manager) promoteLocked(next *ModelSet, reason string) {
+	m.prev = m.serving
+	m.serving = next
+	m.generation++
+	if m.mon != nil {
+		m.mon.SwapModel(m.mon.Tree(), next.Resolver(), next.Threshold)
+		m.mon.SetClusterOf(next.ClusterOf())
+	}
+	m.promosC.Inc()
+	m.genGauge.SetInt(m.generation)
+	m.logf("lifecycle: promoted generation %d (%s)", m.generation, reason)
+}
+
+// ForcePromote promotes all pending candidates (gate-failed or held by
+// AutoPromote=false) as one new generation, bypassing the gate — the
+// operator override behind POST /models/promote.
+func (m *Manager) ForcePromote() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pending) == 0 {
+		return errors.New("lifecycle: no pending candidates to promote")
+	}
+	next := m.serving.clone()
+	var fp uint64
+	for ci, cand := range m.pending {
+		if ci < len(next.Detectors) {
+			next.Detectors[ci] = cand
+			fp = cand.Fingerprint()
+		}
+	}
+	m.pending = make(map[int]*detect.LSTMDetector)
+	m.promoteLocked(next, "forced")
+	m.recordLocked(Generation{
+		Time: m.cfg.Clock(), Cluster: -1, Reason: "forced",
+		DriftCos: math.NaN(), Promoted: true, Fingerprint: fp,
+	})
+	return nil
+}
+
+// Rollback restores the previous generation (one step). Calling it twice
+// toggles back.
+func (m *Manager) Rollback() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.prev == nil {
+		return errors.New("lifecycle: no previous generation to roll back to")
+	}
+	cur := m.serving
+	m.serving, m.prev = m.prev, cur
+	m.generation++
+	if m.mon != nil {
+		m.mon.SwapModel(m.mon.Tree(), m.serving.Resolver(), m.serving.Threshold)
+		m.mon.SetClusterOf(m.serving.ClusterOf())
+	}
+	m.rollbacksC.Inc()
+	m.genGauge.SetInt(m.generation)
+	m.recordLocked(Generation{
+		Time: m.cfg.Clock(), Cluster: -1, Reason: "rollback",
+		DriftCos: math.NaN(), Promoted: true,
+	})
+	m.logf("lifecycle: rolled back to previous generation (now %d)", m.generation)
+	return nil
+}
+
+// SetServing replaces the serving set after an external reload (SIGHUP
+// bundle reload in nfvmonitor). The caller has already swapped the
+// monitor; SetServing realigns lifecycle state: spools are rebuilt (the
+// new bundle's tree is a different template lineage), drift references
+// reset from the new set, and pending/previous generations are dropped
+// (they belong to the old lineage).
+func (m *Manager) SetServing(ms *ModelSet) {
+	m.mu.Lock()
+	m.serving = ms
+	m.prev = nil
+	m.pending = make(map[int]*detect.LSTMDetector)
+	m.refs = refsFrom(ms)
+	m.generation++
+	m.genGauge.SetInt(m.generation)
+	m.buildClusterInstruments(len(ms.Detectors))
+	m.recordLocked(Generation{
+		Time: m.cfg.Clock(), Cluster: -1, Reason: "reload",
+		DriftCos: math.NaN(), Promoted: true,
+	})
+	m.mu.Unlock()
+	m.spools.Store(newSpoolSet(len(ms.Detectors), m.cfg.WindowLen, m.cfg.SpoolPerCluster))
+}
+
+// Serving returns the current serving set (treat as read-only).
+func (m *Manager) Serving() *ModelSet {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.serving
+}
+
+// Generation returns the monotonic serving-generation number.
+func (m *Manager) Generation() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.generation
+}
+
+// Generations returns a copy of the audit log, oldest first.
+func (m *Manager) Generations() []Generation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Generation(nil), m.gens...)
+}
+
+// maxGenerations bounds the audit log; older entries roll off.
+const maxGenerations = 256
+
+// recordLocked appends one audit entry. Caller holds m.mu. An unknown
+// drift cosine (NaN, which JSON cannot carry) is stored as -1.
+func (m *Manager) recordLocked(g Generation) {
+	if math.IsNaN(g.DriftCos) {
+		g.DriftCos = -1
+	}
+	m.genSeq++
+	g.ID = m.genSeq
+	m.gens = append(m.gens, g)
+	if len(m.gens) > maxGenerations {
+		m.gens = m.gens[len(m.gens)-maxGenerations:]
+	}
+}
+
+// Status is the lifecycle summary surfaced on /statusz.
+type Status struct {
+	Generation   int   `json:"generation"`
+	Cycles       int   `json:"cycles"`
+	Pending      []int `json:"pending_clusters"`
+	SpoolWindows []int `json:"spool_windows"`
+	CanRollback  bool  `json:"can_rollback"`
+}
+
+// Status reports the lifecycle's current shape.
+func (m *Manager) Status() Status {
+	m.mu.Lock()
+	st := Status{
+		Generation:  m.generation,
+		Cycles:      m.cycleNum,
+		CanRollback: m.prev != nil,
+	}
+	for ci := range m.pending {
+		st.Pending = append(st.Pending, ci)
+	}
+	m.mu.Unlock()
+	sortInts(st.Pending)
+	ss := m.spools.Load()
+	for _, cs := range ss.clusters {
+		st.SpoolWindows = append(st.SpoolWindows, cs.depth())
+	}
+	return st
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Log != nil {
+		m.cfg.Log.Printf(format, args...)
+	}
+}

@@ -1,0 +1,128 @@
+package lifecycle
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"nfvpredict/internal/atomicfile"
+	"nfvpredict/internal/cluster"
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/wireframe"
+)
+
+// Spool file framing. The spool records template IDs, which are only
+// meaningful against the exact signature-tree lineage that produced them,
+// so the file carries the tree fingerprint and Load discards the spool on
+// any mismatch — a cold spool is always safe, a misinterpreted one is not.
+const (
+	// SpoolMagic identifies a framed lifecycle spool file.
+	SpoolMagic = "NFVS"
+	// SpoolVersion is the current spool format version.
+	SpoolVersion uint32 = 1
+)
+
+// spoolWire is the gob payload of a spool file.
+type spoolWire struct {
+	// TreeFP is the serving tree's fingerprint at save time.
+	TreeFP uint64
+	// Clusters holds each cluster's completed windows and live histogram.
+	// In-progress (building) windows are not persisted; hosts resume cold.
+	Clusters []spoolClusterWire
+	// Refs are the drift reference histograms, persisted so a baseline
+	// captured live (when the bundle shipped no TrainHist) survives a
+	// restart instead of re-arming a spurious first-cycle capture.
+	Refs []cluster.Histogram
+}
+
+type spoolClusterWire struct {
+	Windows    [][]features.Event
+	Quarantine [][]features.Event
+	Hist       cluster.Histogram
+}
+
+// SaveSpool persists the spool (and drift references) to path atomically,
+// stamped with the attached monitor's current tree fingerprint. Call it
+// alongside the monitor checkpoint so the two artifacts agree on lineage.
+// A "" path is a no-op.
+func (m *Manager) SaveSpool(path string) error {
+	if path == "" {
+		return nil
+	}
+	m.mu.Lock()
+	mon := m.mon
+	refs := append([]cluster.Histogram(nil), m.refs...)
+	m.mu.Unlock()
+	if mon == nil {
+		return fmt.Errorf("lifecycle: no monitor attached; cannot stamp spool lineage")
+	}
+	wf := spoolWire{TreeFP: mon.TreeFingerprint(), Refs: refs}
+	ss := m.spools.Load()
+	for _, cs := range ss.clusters {
+		clean, quar, hist := cs.snapshot(false)
+		wf.Clusters = append(wf.Clusters, spoolClusterWire{Windows: clean, Quarantine: quar, Hist: hist})
+	}
+	return atomicfile.Write(path, func(w io.Writer) error {
+		var payload bytes.Buffer
+		if err := gob.NewEncoder(&payload).Encode(&wf); err != nil {
+			return fmt.Errorf("lifecycle: encoding spool: %w", err)
+		}
+		return wireframe.Encode(w, SpoolMagic, SpoolVersion, payload.Bytes())
+	})
+}
+
+// LoadSpool restores a spool saved by SaveSpool. A missing file is a clean
+// cold start (nil error). A fingerprint mismatch — the tree lineage moved
+// since the spool was written — discards the spool and starts cold, also
+// nil: stale template IDs must never seed an adaptation. Corrupt framing
+// is an error.
+func (m *Manager) LoadSpool(path string) error {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	payload, framed, err := wireframe.Decode(data, SpoolMagic, SpoolVersion)
+	if err != nil {
+		return fmt.Errorf("lifecycle: spool %s: %w", path, err)
+	}
+	if !framed {
+		return fmt.Errorf("lifecycle: spool %s: not a spool file", path)
+	}
+	var wf spoolWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wf); err != nil {
+		return fmt.Errorf("lifecycle: spool %s: decoding: %w", path, err)
+	}
+	m.mu.Lock()
+	mon := m.mon
+	m.mu.Unlock()
+	if mon == nil {
+		return fmt.Errorf("lifecycle: no monitor attached; cannot verify spool lineage")
+	}
+	if fp := mon.TreeFingerprint(); fp != wf.TreeFP {
+		m.logf("lifecycle: spool %s discarded: tree fingerprint %x != %x (lineage moved)", path, wf.TreeFP, fp)
+		return nil
+	}
+	ss := m.spools.Load()
+	for ci, cw := range wf.Clusters {
+		if ci >= len(ss.clusters) {
+			break
+		}
+		ss.clusters[ci].seed(cw.Windows, cw.Quarantine, cw.Hist)
+	}
+	m.mu.Lock()
+	for ci, ref := range wf.Refs {
+		if ci < len(m.refs) && m.refs[ci] == nil && len(ref) > 0 {
+			m.refs[ci] = ref
+		}
+	}
+	m.mu.Unlock()
+	return nil
+}

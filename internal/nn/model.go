@@ -434,6 +434,38 @@ func (m *SequenceModel) Clone() *SequenceModel {
 	return out
 }
 
+// Fingerprint returns an FNV-1a hash over the model's configuration and
+// every weight's exact bit pattern — a cheap stable identity for "is this
+// the same trained model". Two models fingerprint equal iff they have the
+// same architecture and bit-identical weights, so the online lifecycle can
+// tell generations apart (and prove a rejected candidate left the serving
+// model untouched) without diffing whole weight matrices in logs.
+func (m *SequenceModel) Fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(m.cfg.Vocab))
+	for _, w := range m.cfg.Hidden {
+		mix(uint64(w))
+	}
+	if m.cfg.UseGap {
+		mix(1)
+	}
+	for _, p := range m.Params() {
+		for _, b := range []byte(p.Name) {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		for _, v := range p.W.Data {
+			mix(math.Float64bits(v))
+		}
+	}
+	return h
+}
+
 // ShadowClone returns a model that shares m's weight matrices but owns
 // fresh gradient accumulators and scratch. Shadows are the unit of
 // data-parallel training: workers run TrainWindow on disjoint shadows

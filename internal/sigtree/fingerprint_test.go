@@ -1,0 +1,53 @@
+package sigtree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFingerprintIdentity: identically grown trees fingerprint equal, and
+// the fingerprint survives a Save/Load round trip (the checkpoint path the
+// lifecycle spool validates against).
+func TestFingerprintIdentity(t *testing.T) {
+	grow := func() *Tree {
+		tr := New()
+		tr.Learn("interface ge-0/0/1 down")
+		tr.Learn("interface ge-0/0/2 down")
+		tr.Learn("bgp peer 10.0.0.1 established")
+		return tr
+	}
+	a, b := grow(), grow()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identically grown trees fingerprint differently")
+	}
+
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint changed across Save/Load")
+	}
+}
+
+// TestFingerprintTracksLearning: growth, repeat matches (count bumps), and
+// wildcard merges all move the fingerprint — any divergence in history
+// means spooled template IDs may not be interpretable.
+func TestFingerprintTracksLearning(t *testing.T) {
+	tr := New()
+	tr.Learn("ntp clock synchronized stratum 2")
+	f0 := tr.Fingerprint()
+	tr.Learn("fpc 0 cpu utilization 20 percent")
+	f1 := tr.Fingerprint()
+	if f0 == f1 {
+		t.Fatal("new template did not change fingerprint")
+	}
+	tr.Learn("ntp clock synchronized stratum 2") // same template, count++
+	if tr.Fingerprint() == f1 {
+		t.Fatal("match count did not change fingerprint")
+	}
+}

@@ -309,6 +309,40 @@ func IsVariableToken(tok string) bool {
 	return digits >= letters || (dashes > 0 && digits > 0)
 }
 
+// Fingerprint returns an FNV-1a hash over the tree's exact template set —
+// every template's ID, token sequence, and match count. Two trees
+// fingerprint equal iff they would assign identical template IDs to
+// identical inputs and have seen the same history, so artifacts that
+// record template IDs (the lifecycle spool) can detect at load time that
+// they were written against this very tree and not some other lineage.
+// The fingerprint changes as the tree learns (growth and wildcard merges
+// both count), matching the tree's not-concurrency-safe contract: compute
+// it under whatever lock guards Learn.
+func (t *Tree) Fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * 1099511628211
+			v >>= 8
+		}
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+		h = (h ^ 0xff) * 1099511628211 // terminator so "ab","c" ≠ "a","bc"
+	}
+	for _, tpl := range t.templates {
+		mix(uint64(tpl.ID))
+		mix(uint64(tpl.Count))
+		for _, tok := range tpl.Tokens {
+			mixStr(tok)
+		}
+	}
+	mix(uint64(int64(t.overflow)))
+	return h
+}
+
 // treeSnapshot is the gob wire form of a Tree.
 type treeSnapshot struct {
 	SimThreshold float64
