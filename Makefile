@@ -18,17 +18,25 @@ test-race:
 
 # Full gate: what a CI job runs. Vet, build, the whole test suite, the
 # race pass over the concurrent packages (which covers the shard
-# lifecycle tests), and benchmark smoke runs: the metrics hot path and
-# the batched scoring kernels (batched LSTM step, blocked matvec). The
-# hard 0 allocs/op assertions are TestHotPathAllocFree and
-# TestScoringHotPathAllocFree, which run with the suite.
+# lifecycle tests), the lifecycle soaks under -race (f64 and the
+# quantized f32 engine — the latter proves the atomic engine swap on
+# promotion is safe against concurrent scorers), the quantized-parity
+# smoke (f32 warning-sequence parity, int8 FAR-delta gate, and the
+# invalidate/re-pack staleness invariants), and benchmark smoke runs:
+# the metrics hot path and the scoring kernels at every serving
+# precision (f64/f32/int8 LSTM step, blocked matvec, packed f32 and
+# int8 matvec). The hard 0 allocs/op assertions are
+# TestHotPathAllocFree, TestScoringHotPathAllocFree, and
+# TestQuantStepAllocFree, which run with the suite.
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) test-race
-	$(GO) test ./internal/lifecycle/ -run TestLifecycleSoakSmoke -race -count=1
+	$(GO) test ./internal/lifecycle/ -run 'TestLifecycleSoakSmoke|TestLifecycleSoakQuantized' -race -count=1
+	$(GO) test ./internal/ingest/ -run 'TestQuantF32WarningParity|TestQuantInt8FARDelta' -count=1
+	$(GO) test ./internal/detect/ -run 'TestSetPrecision|TestClonePropagatesPrecision|TestUpdateRepacks|TestAdaptRepacks' -count=1
 	$(GO) test ./internal/obs/ -run XXX -bench Registry -benchtime=1x -benchmem
-	$(GO) test ./internal/nn/ -run XXX -bench 'StepLogProbsBatch' -benchtime=1x -benchmem
+	$(GO) test ./internal/nn/ -run XXX -bench 'StepLogProbs' -benchtime=1x -benchmem
 	$(GO) test ./internal/mat/ -run XXX -bench 'MulMatAdd|MulVecAdd' -benchtime=1x -benchmem
 
 bench: bench-nn bench-pipeline bench-obs bench-serving

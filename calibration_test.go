@@ -1,0 +1,132 @@
+package nfvpredict
+
+import (
+	"testing"
+	"time"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/pipeline"
+)
+
+// calibrationFixture trains twin detectors (identical deterministic
+// weights) on month 0 of a simulated fleet and returns them with the
+// month-1 per-vPE scoring streams — the seed scenario the serving-path
+// calibration gates run on.
+func calibrationFixture(t *testing.T) (ref, quant *detect.LSTMDetector, streams [][]features.Event, threshold float64) {
+	t.Helper()
+	simCfg := SmallSimConfig()
+	simCfg.NumVPEs = 6
+	simCfg.Months = 2
+	simCfg.UpdateMonth = -1
+	trace, err := Simulate(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pipeline.BuildDataset(trace, simCfg.Start, simCfg.Months)
+	var train [][]features.Event
+	for _, v := range ds.VPEs {
+		if ev := ds.CleanEvents(v, ds.MonthStart(0), ds.MonthStart(1), 72*time.Hour); len(ev) > 0 {
+			train = append(train, ev)
+		}
+	}
+	for _, v := range ds.VPEs {
+		if ev := ds.RangeEvents(v, ds.MonthStart(1), ds.MonthStart(2)); len(ev) > 0 {
+			streams = append(streams, ev)
+		}
+	}
+	mk := func() *detect.LSTMDetector {
+		cfg := detect.DefaultLSTMConfig()
+		cfg.Hidden = []int{24}
+		cfg.Epochs = 2
+		cfg.OverSampleRounds = 0
+		cfg.MaxWindowsPerEpoch = 600
+		d := detect.NewLSTMDetector(cfg)
+		if err := d.Train(train); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	return mk(), mk(), streams, 6
+}
+
+// verdicts thresholds every scored event, returning one bool per message.
+func verdicts(d *detect.LSTMDetector, streams [][]features.Event, threshold float64) []bool {
+	var out []bool
+	for i, s := range streams {
+		for _, se := range d.Score("vpe"+string(rune('a'+i)), s) {
+			out = append(out, se.Score > threshold)
+		}
+	}
+	return out
+}
+
+// TestCalibrationF32SeedScenario is the serving-path calibration gate on
+// the simulator's seed scenario: the f32 engine must reproduce the f64
+// anomaly-verdict sequence exactly — verdicts drive the §5.1 clustering
+// rule, so identical verdicts mean an identical warning sequence.
+func TestCalibrationF32SeedScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed calibration in -short mode")
+	}
+	ref, quant, streams, threshold := calibrationFixture(t)
+	quant.SetPrecision(detect.PrecisionF32)
+	vRef := verdicts(ref, streams, threshold)
+	vQ := verdicts(quant, streams, threshold)
+	if len(vRef) != len(vQ) {
+		t.Fatalf("verdict counts diverged: %d vs %d", len(vRef), len(vQ))
+	}
+	var nRef int
+	for i := range vRef {
+		if vRef[i] {
+			nRef++
+		}
+		if vRef[i] != vQ[i] {
+			t.Fatalf("verdict %d flipped under f32 (f64=%v)", i, vRef[i])
+		}
+	}
+	if nRef == 0 {
+		t.Fatal("scenario produced no anomalies — calibration vacuous")
+	}
+	t.Logf("f32 parity over %d verdicts (%d anomalous)", len(vRef), nRef)
+}
+
+// TestCalibrationInt8SeedScenario bounds the int8 engine's false-alarm
+// drift on the same scenario: the verdict-rate delta must fit the
+// lifecycle promotion-gate budget (0.02).
+func TestCalibrationInt8SeedScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed calibration in -short mode")
+	}
+	ref, quant, streams, threshold := calibrationFixture(t)
+	quant.SetPrecision(detect.PrecisionInt8)
+	vRef := verdicts(ref, streams, threshold)
+	vQ := verdicts(quant, streams, threshold)
+	if len(vRef) != len(vQ) {
+		t.Fatalf("verdict counts diverged: %d vs %d", len(vRef), len(vQ))
+	}
+	var nRef, nQ, flips int
+	for i := range vRef {
+		if vRef[i] {
+			nRef++
+		}
+		if vQ[i] {
+			nQ++
+		}
+		if vRef[i] != vQ[i] {
+			flips++
+		}
+	}
+	farRef := float64(nRef) / float64(len(vRef))
+	farQ := float64(nQ) / float64(len(vQ))
+	delta := farQ - farRef
+	if delta < 0 {
+		delta = -delta
+	}
+	const gateBudget = 0.02
+	if delta > gateBudget {
+		t.Fatalf("int8 verdict-rate delta %.4f exceeds gate budget %.2f (f64 %.4f int8 %.4f, %d flips)",
+			delta, gateBudget, farRef, farQ, flips)
+	}
+	t.Logf("int8 rates: f64=%.4f int8=%.4f delta=%.4f flips=%d/%d", farRef, farQ, delta, flips, len(vRef))
+}

@@ -32,9 +32,37 @@ type result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	MsgsPerSec  float64 `json:"msgs_per_sec,omitempty"`
 
+	// SpeedupVsShards1 is derived for BenchmarkMonitorParallelShardsN
+	// rows: this row's msgs_per_sec over the Shards1 row's, i.e. the
+	// scaling curve of the sharded scoring path in one number per row.
+	SpeedupVsShards1 float64 `json:"speedup_vs_shards1,omitempty"`
+
 	// Extra holds any "value unit" pairs beyond the three standard ones,
 	// e.g. MB/s from SetBytes or custom ReportMetric units.
 	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// shardsPrefix is the benchmark family that gets the speedup_vs_shards1
+// derived field; the baseline row is <prefix>1.
+const shardsPrefix = "BenchmarkMonitorParallelShards"
+
+// deriveShardSpeedups fills SpeedupVsShards1 on every shard-scaling row,
+// including the baseline itself (1.0), once all rows are parsed.
+func deriveShardSpeedups(results []result) {
+	var base float64
+	for _, r := range results {
+		if r.Name == shardsPrefix+"1" && r.MsgsPerSec > 0 {
+			base = r.MsgsPerSec
+		}
+	}
+	if base == 0 {
+		return
+	}
+	for i := range results {
+		if strings.HasPrefix(results[i].Name, shardsPrefix) && results[i].MsgsPerSec > 0 {
+			results[i].SpeedupVsShards1 = results[i].MsgsPerSec / base
+		}
+	}
 }
 
 // parseLine parses one benchmark result line of the form
@@ -97,6 +125,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
+	deriveShardSpeedups(results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {

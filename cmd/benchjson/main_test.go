@@ -42,3 +42,33 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		}
 	}
 }
+
+func TestDeriveShardSpeedups(t *testing.T) {
+	results := []result{
+		{Name: "BenchmarkMonitorParallelShards1", MsgsPerSec: 100000},
+		{Name: "BenchmarkMonitorParallelShards4", MsgsPerSec: 320000},
+		{Name: "BenchmarkMonitorParallelShards8", MsgsPerSec: 550000},
+		{Name: "BenchmarkStepLogProbs", MsgsPerSec: 50000},
+	}
+	deriveShardSpeedups(results)
+	if results[0].SpeedupVsShards1 != 1 {
+		t.Errorf("baseline speedup = %v, want 1", results[0].SpeedupVsShards1)
+	}
+	if results[1].SpeedupVsShards1 != 3.2 {
+		t.Errorf("Shards4 speedup = %v, want 3.2", results[1].SpeedupVsShards1)
+	}
+	if results[2].SpeedupVsShards1 != 5.5 {
+		t.Errorf("Shards8 speedup = %v, want 5.5", results[2].SpeedupVsShards1)
+	}
+	if results[3].SpeedupVsShards1 != 0 {
+		t.Errorf("non-shard row got a speedup: %v", results[3].SpeedupVsShards1)
+	}
+}
+
+func TestDeriveShardSpeedupsNoBaseline(t *testing.T) {
+	results := []result{{Name: "BenchmarkMonitorParallelShards4", MsgsPerSec: 320000}}
+	deriveShardSpeedups(results)
+	if results[0].SpeedupVsShards1 != 0 {
+		t.Errorf("speedup without a Shards1 baseline should stay 0, got %v", results[0].SpeedupVsShards1)
+	}
+}

@@ -61,6 +61,7 @@ type options struct {
 	year      int
 	seed      int64
 	shards    int
+	precision string
 	model     string
 	ckpt      string
 	ckptEvery time.Duration
@@ -82,6 +83,7 @@ func main() {
 	flag.IntVar(&o.year, "year", time.Now().Year(), "year for RFC 3164 timestamps")
 	flag.Int64Var(&o.seed, "seed", 1, "bootstrap-simulation seed (when no -model)")
 	flag.IntVar(&o.shards, "shards", 0, "scoring shards: hosts are hashed onto shards, each owning its vPEs' LSTM streams and scored by its own worker (0 = GOMAXPROCS)")
+	flag.StringVar(&o.precision, "precision", "f64", "serving inference precision: f64 (reference), f32 (packed float32 kernels), or int8 (row-quantized GEMMs); training and checkpoints stay float64")
 	flag.StringVar(&o.model, "model", "", "trained bundle from cmd/nfvtrain (empty: bootstrap on simulation); SIGHUP hot-reloads it")
 	flag.StringVar(&o.ckpt, "checkpoint", "", "checkpoint file: online state is saved here periodically and restored at startup (empty disables)")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-interval", time.Minute, "how often to write the checkpoint")
@@ -119,10 +121,19 @@ type app struct {
 	reloadFailures *obs.Counter
 	ckptFailures   *obs.Counter
 	lastCkptUnix   *obs.Gauge
+	packedBytesG   *obs.Gauge
+
+	// precision is the serving inference mode every generation of
+	// detectors is packed to (-precision flag); immutable after run starts.
+	precision detect.Precision
 
 	mu     sync.Mutex
 	bundle bundleStatus
 	ckpt   ckptStatus
+	// dets is the currently serving detector set, for packed-memory
+	// accounting; with the lifecycle enabled its Serving() set wins (it
+	// changes on promotions the app never sees).
+	dets []*detect.LSTMDetector
 }
 
 // bundleStatus describes the serving model for /statusz.
@@ -156,6 +167,11 @@ type statusDoc struct {
 	Ingest     ingest.Stats        `json:"ingest"`
 	Traces     uint64              `json:"traces_total"`
 	Lifecycle  *lifecycle.Status   `json:"lifecycle,omitempty"`
+	// Precision is the active serving inference mode (f64/f32/int8);
+	// ModelPackedBytes is the total packed-weight footprint of the
+	// quantized serving engines (0 at f64).
+	Precision        string `json:"precision"`
+	ModelPackedBytes int    `json:"model_packed_bytes"`
 }
 
 // newApp builds the observability plumbing shared by every code path.
@@ -177,6 +193,32 @@ func newApp(log *obs.Logger, traceBuf int) *app {
 			"Unix time of the last successful checkpoint write (0 = never)."),
 	}
 	return a
+}
+
+// packedBytes sums the packed-weight footprint of the serving detectors,
+// preferring the lifecycle's live serving set (promotions replace
+// detectors behind the app's back).
+func (a *app) packedBytes() int {
+	var dets []*detect.LSTMDetector
+	if a.life != nil {
+		if ms := a.life.Serving(); ms != nil {
+			dets = ms.Detectors
+		}
+	} else {
+		a.mu.Lock()
+		dets = a.dets
+		a.mu.Unlock()
+	}
+	total := 0
+	for _, d := range dets {
+		if d != nil {
+			total += d.PackedBytes()
+		}
+	}
+	if a.packedBytesG != nil {
+		a.packedBytesG.SetInt(total)
+	}
+	return total
 }
 
 // status builds the /statusz document.
@@ -205,6 +247,8 @@ func (a *app) status() any {
 		st := a.life.Status()
 		doc.Lifecycle = &st
 	}
+	doc.Precision = a.precision.String()
+	doc.ModelPackedBytes = a.packedBytes()
 	return doc
 }
 
@@ -246,6 +290,13 @@ func (a *app) reload(model string) error {
 		a.log.Error("hot-reload rejected, keeping serving bundle", "model", model, "err", err)
 		return err
 	}
+	// Pack the incoming detectors to the serving precision before any
+	// message can score against them; the outgoing generation's engines go
+	// with it. Bundles never carry a packed engine — precision is runtime
+	// state, re-derived from the float64 weights on every load.
+	for _, d := range b.Detectors {
+		d.SetPrecision(a.precision)
+	}
 	a.mon.SwapModel(b.Tree, b.DetectorFor, b.Threshold)
 	a.mon.SetClusterOf(func(host string) int {
 		if ci, ok := b.Assign[host]; ok {
@@ -253,6 +304,10 @@ func (a *app) reload(model string) error {
 		}
 		return 0
 	})
+	a.mu.Lock()
+	a.dets = append([]*detect.LSTMDetector(nil), b.Detectors...)
+	a.mu.Unlock()
+	a.packedBytes()
 	if a.life != nil {
 		// The monitor is already swapped; realign the lifecycle (new
 		// template lineage: spools rebuilt, drift references reset,
@@ -386,16 +441,38 @@ func run(o options) error {
 	}
 	a := newApp(obs.NewLogger(os.Stdout, level), o.traceBuf)
 
+	prec, err := detect.ParsePrecision(o.precision)
+	if err != nil {
+		return err
+	}
+	a.precision = prec
+	a.reg.Gauge(obs.LabelName("serving_precision_info", "mode", prec.String()),
+		"Active serving inference precision (the labelled mode is 1).").SetInt(1)
+	a.packedBytesG = a.reg.Gauge("model_packed_bytes",
+		"Packed-weight footprint of the quantized serving engines (0 at f64).")
+
 	tree, resolve, clusterOf, threshold, ms, err := loadServing(a, o.model, o.threshold, o.seed)
 	if err != nil {
 		return err
 	}
+	// Pack the bootstrap/bundle detectors once at startup; every later
+	// generation (hot reload, lifecycle promotion/rollback) re-packs on its
+	// own path. The resolver serves the same detector objects, so packing
+	// the ModelSet covers both.
+	for _, d := range ms.Detectors {
+		if d != nil {
+			d.SetPrecision(prec)
+		}
+	}
+	a.dets = append([]*detect.LSTMDetector(nil), ms.Detectors...)
+	a.packedBytes()
 
 	mcfg := ingest.DefaultMonitorConfig()
 	mcfg.Threshold = threshold
 	mcfg.Metrics = a.reg
 	mcfg.Traces = a.traces
 	mcfg.ClusterOf = clusterOf
+	mcfg.Precision = prec
 	mcfg.Shards = o.shards
 	if mcfg.Shards <= 0 {
 		mcfg.Shards = runtime.GOMAXPROCS(0)
@@ -535,6 +612,7 @@ func run(o options) error {
 		case <-ckptTick:
 			a.saveCheckpoint(o.ckpt, "interval")
 		case <-status.C:
+			a.packedBytes() // refresh the gauge after lifecycle promotions
 			mst := a.mon.Stats()
 			sst := srv.Stats()
 			a.log.Info("status",

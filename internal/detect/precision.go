@@ -1,0 +1,65 @@
+package detect
+
+import "nfvpredict/internal/nn"
+
+// Precision re-exports the serving-path inference precision so monitor and
+// lifecycle code can configure quantized serving without importing nn.
+type Precision = nn.Precision
+
+const (
+	PrecisionF64  = nn.PrecisionF64
+	PrecisionF32  = nn.PrecisionF32
+	PrecisionInt8 = nn.PrecisionInt8
+)
+
+// ParsePrecision parses a -precision flag value (f64, f32, int8).
+func ParsePrecision(s string) (Precision, error) { return nn.ParsePrecision(s) }
+
+// SetPrecision selects the detector's serving inference engine. A trained
+// model is re-packed immediately; an untrained detector just records the
+// mode and packs when training produces a model. PrecisionF64 is the
+// no-op fast path: nothing is packed and any stale engine is dropped.
+// Training entry points (Train/Update/Adapt) invalidate the packed mirror
+// before mutating weights and re-pack when done, so a stale quantized
+// engine can never serve.
+func (d *LSTMDetector) SetPrecision(p Precision) {
+	d.precision = p
+	d.repack()
+}
+
+// Precision reports the detector's configured serving precision.
+func (d *LSTMDetector) Precision() Precision { return d.precision }
+
+// PackedBytes reports the packed-weight footprint of the active quantized
+// engine (0 when serving f64 or untrained).
+func (d *LSTMDetector) PackedBytes() int {
+	if d.model == nil {
+		return 0
+	}
+	return d.model.PackedBytes()
+}
+
+// repack synchronizes the model's packed engine with the configured
+// precision. The f64 case only clears (a single atomic store, no pack
+// work), which keeps Clone and the lifecycle's shadow paths free when
+// quantized serving is off.
+func (d *LSTMDetector) repack() {
+	if d.model == nil {
+		return
+	}
+	if d.precision == PrecisionF64 {
+		if d.model.Precision() != PrecisionF64 {
+			d.model.InvalidatePacked()
+		}
+		return
+	}
+	d.model.SetPrecision(d.precision)
+}
+
+// invalidatePacked drops the model's packed engine ahead of an in-place
+// weight mutation.
+func (d *LSTMDetector) invalidatePacked() {
+	if d.model != nil && d.precision != PrecisionF64 {
+		d.model.InvalidatePacked()
+	}
+}

@@ -1,0 +1,151 @@
+package detect
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/features"
+)
+
+// trainedPrecisionDetector trains a small deterministic detector on a
+// cyclic 3-template stream.
+func trainedPrecisionDetector(t *testing.T) (*LSTMDetector, []features.Event) {
+	t.Helper()
+	base := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	var stream []features.Event
+	for i := 0; i < 600; i++ {
+		stream = append(stream, features.Event{
+			Time:     base.Add(time.Duration(i) * 20 * time.Second),
+			Template: i % 3,
+		})
+	}
+	cfg := DefaultLSTMConfig()
+	cfg.Hidden = []int{12}
+	cfg.MaxVocab = 8
+	cfg.Epochs = 3
+	cfg.OverSampleRounds = 0
+	d := NewLSTMDetector(cfg)
+	if err := d.Train([][]features.Event{stream}); err != nil {
+		t.Fatal(err)
+	}
+	return d, stream
+}
+
+func TestSetPrecisionPacksTrainedModel(t *testing.T) {
+	d, _ := trainedPrecisionDetector(t)
+	if d.Precision() != PrecisionF64 || d.PackedBytes() != 0 {
+		t.Fatalf("fresh detector should serve f64 unpacked: %v %d", d.Precision(), d.PackedBytes())
+	}
+	d.SetPrecision(PrecisionF32)
+	if d.Precision() != PrecisionF32 || d.PackedBytes() == 0 {
+		t.Fatalf("f32 pack missing: %v %d", d.Precision(), d.PackedBytes())
+	}
+	if got := d.Model().Precision(); got != PrecisionF32 {
+		t.Fatalf("model engine precision = %v, want f32", got)
+	}
+	d.SetPrecision(PrecisionF64)
+	if d.PackedBytes() != 0 || d.Model().Precision() != PrecisionF64 {
+		t.Fatalf("f64 should drop the packed engine")
+	}
+}
+
+func TestSetPrecisionUntrainedPacksOnTrain(t *testing.T) {
+	cfg := DefaultLSTMConfig()
+	cfg.Hidden = []int{12}
+	cfg.MaxVocab = 8
+	cfg.Epochs = 2
+	cfg.OverSampleRounds = 0
+	d := NewLSTMDetector(cfg)
+	d.SetPrecision(PrecisionInt8) // records the mode; nothing to pack yet
+	if d.PackedBytes() != 0 {
+		t.Fatalf("untrained detector cannot have a packed engine")
+	}
+	base := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	var stream []features.Event
+	for i := 0; i < 400; i++ {
+		stream = append(stream, features.Event{Time: base.Add(time.Duration(i) * 20 * time.Second), Template: i % 3})
+	}
+	if err := d.Train([][]features.Event{stream}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Precision() != PrecisionInt8 || d.PackedBytes() == 0 {
+		t.Fatalf("Train should pack the configured precision: %v %d", d.Precision(), d.PackedBytes())
+	}
+}
+
+// TestClonePropagatesPrecisionWithoutPacking pins the clone fast path:
+// the precision setting rides along (so a fine-tuned candidate re-packs
+// itself when training completes) but the engine itself is never copied —
+// clones exist to mutate the weights the engine mirrors.
+func TestClonePropagatesPrecisionWithoutPacking(t *testing.T) {
+	d, stream := trainedPrecisionDetector(t)
+	d.SetPrecision(PrecisionF32)
+	c := d.Clone()
+	if c.Precision() != PrecisionF32 {
+		t.Fatalf("clone lost the precision setting: %v", c.Precision())
+	}
+	if c.PackedBytes() != 0 {
+		t.Fatalf("clone must not inherit a packed engine (stale after fine-tune)")
+	}
+	// Fine-tuning the clone re-packs it on completion.
+	if err := c.Update([][]features.Event{stream[:200]}); err != nil {
+		t.Fatal(err)
+	}
+	if c.PackedBytes() == 0 || c.Model().Precision() != PrecisionF32 {
+		t.Fatalf("Update should re-pack the clone: %d %v", c.PackedBytes(), c.Model().Precision())
+	}
+	// The f64 clone path stays a true no-op: no engine anywhere.
+	d.SetPrecision(PrecisionF64)
+	if c2 := d.Clone(); c2.Precision() != PrecisionF64 || c2.PackedBytes() != 0 {
+		t.Fatalf("f64 clone should carry no precision work")
+	}
+}
+
+// TestUpdateRepacksFreshEngine pins the staleness invariant: after an
+// in-place weight mutation (Update), the packed engine serves the NEW
+// weights. A stale engine would score with pre-update weights and diverge
+// from the f64 reference far beyond the f32 error budget.
+func TestUpdateRepacksFreshEngine(t *testing.T) {
+	d, stream := trainedPrecisionDetector(t)
+	d.SetPrecision(PrecisionF32)
+	if err := d.Update([][]features.Event{stream}); err != nil {
+		t.Fatal(err)
+	}
+	if d.PackedBytes() == 0 {
+		t.Fatalf("Update dropped the packed engine without re-packing")
+	}
+	// Reference: same post-update weights served at f64 (Clone copies the
+	// updated master; setting f64 precision serves it unquantized).
+	ref := d.Clone()
+	ref.SetPrecision(PrecisionF64)
+	got := d.Score("vpe", stream[:100])
+	want := ref.Score("vpe", stream[:100])
+	if len(got) != len(want) {
+		t.Fatalf("score lengths diverged: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if diff := math.Abs(got[i].Score - want[i].Score); diff > 2e-2 {
+			t.Fatalf("step %d: quantized score %v vs f64 %v (diff %v) — stale packed engine?",
+				i, got[i].Score, want[i].Score, diff)
+		}
+	}
+}
+
+// TestAdaptRepacksStudent covers the transfer-adaptation path: Adapt
+// replaces the model with a fine-tuned student; the packed engine must
+// follow it.
+func TestAdaptRepacksStudent(t *testing.T) {
+	d, stream := trainedPrecisionDetector(t)
+	d.SetPrecision(PrecisionInt8)
+	before := d.Fingerprint()
+	if err := d.Adapt([][]features.Event{stream[:300]}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Fingerprint() == before {
+		t.Fatalf("Adapt did not change the weights (test premise broken)")
+	}
+	if d.PackedBytes() == 0 || d.Model().Precision() != PrecisionInt8 {
+		t.Fatalf("Adapt must re-pack the student: %d %v", d.PackedBytes(), d.Model().Precision())
+	}
+}

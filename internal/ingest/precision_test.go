@@ -1,0 +1,131 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/logfmt"
+)
+
+// calibrationTraffic drives one monitor through a deterministic mixed
+// scenario — steady normal traffic on several hosts with two anomaly
+// bursts and one isolated anomaly — and returns the emitted warnings.
+// The stream mirrors the seed scenarios the figures pipeline scores: the
+// warning rule should fire exactly on the bursts and nowhere else.
+func calibrationTraffic(mon *Monitor) []detect.Warning {
+	normal := []string{
+		"bgp keepalive exchanged with peer 10.0.0.2 hold 90",
+		"interface statistics poll completed for ge-0/0/2 in 9 ms",
+		"fpc 1 cpu utilization 30 percent memory 45 percent",
+		"ntp clock synchronized to 10.9.9.9 stratum 2 offset 80 us",
+	}
+	hosts := []string{"vpe01", "vpe02", "vpe03"}
+	seen := map[string]int{} // per-host position in the training cycle
+	at := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	step := func(host string) {
+		mon.HandleMessage(logfmt.Message{Time: at, Host: host, Tag: "rpd",
+			Text: normal[seen[host]%len(normal)]})
+		seen[host]++
+		at = at.Add(10 * time.Second)
+	}
+	anom := func(host, text string, gap time.Duration) {
+		mon.HandleMessage(logfmt.Message{Time: at, Host: host, Tag: "rpd", Text: text})
+		at = at.Add(gap)
+	}
+	// Interleaved normal traffic: each host sees the training template
+	// cycle in order at the training cadence (3 hosts × 10 s = 30 s gaps).
+	for i := 0; i < 360; i++ {
+		step(hosts[i%len(hosts)])
+	}
+	// Burst 1: three never-seen messages within a minute on vpe02.
+	for i := 0; i < 3; i++ {
+		anom("vpe02", "invalid response from peer chassis-control session 42 retries 3", 15*time.Second)
+	}
+	for i := 0; i < 120; i++ {
+		step(hosts[i%len(hosts)])
+	}
+	// Isolated anomaly on vpe03: must not warn (§5.1 rule).
+	anom("vpe03", "totally unexpected kernel catastrophe message here", 10*time.Minute)
+	for i := 0; i < 120; i++ {
+		step(hosts[i%len(hosts)])
+	}
+	// Burst 2: a different fault signature on vpe01.
+	for i := 0; i < 4; i++ {
+		anom("vpe01", "fpc 1 major errors detected on pfe complex asic 2", 12*time.Second)
+	}
+	return mon.Warnings()
+}
+
+// monitorAt builds a monitor over a freshly trained detector serving at
+// the given precision. trainMonitorDetector is deterministic, so every
+// call yields identical trees and weights — the only difference between
+// two monitors is the serving engine.
+func monitorAt(t *testing.T, p detect.Precision) *Monitor {
+	t.Helper()
+	tree, det := trainMonitorDetector(t)
+	mcfg := DefaultMonitorConfig()
+	mcfg.Threshold = 4
+	mcfg.Precision = p
+	mon := NewMonitor(mcfg, tree, det, nil)
+	if det.Precision() != p {
+		t.Fatalf("NewMonitor did not apply precision %v (got %v)", p, det.Precision())
+	}
+	return mon
+}
+
+// TestQuantF32WarningParity is the f32 calibration gate: the quantized
+// serving path must reproduce the f64 warning sequence exactly on the
+// seed scenario — same warnings, same hosts, same cluster sizes, same
+// first-anomaly times — and the per-message anomaly verdict count must
+// match too (scores sit nats away from the threshold on both sides, so
+// the ~1e-3 f32 drift cannot flip a verdict).
+func TestQuantF32WarningParity(t *testing.T) {
+	ref := monitorAt(t, detect.PrecisionF64)
+	q := monitorAt(t, detect.PrecisionF32)
+	wRef := calibrationTraffic(ref)
+	wQ := calibrationTraffic(q)
+	if len(wRef) != 2 {
+		t.Fatalf("f64 reference emitted %d warnings, want 2 (scenario drift?): %+v", len(wRef), wRef)
+	}
+	if fmt.Sprintf("%+v", wRef) != fmt.Sprintf("%+v", wQ) {
+		t.Fatalf("f32 warning sequence diverged:\n f64: %+v\n f32: %+v", wRef, wQ)
+	}
+	mRef, aRef := ref.Counters()
+	mQ, aQ := q.Counters()
+	if mRef != mQ || aRef != aQ {
+		t.Fatalf("verdict counters diverged: f64 msgs=%d anoms=%d, f32 msgs=%d anoms=%d", mRef, aRef, mQ, aQ)
+	}
+}
+
+// TestQuantInt8FARDelta is the int8 calibration gate: on the same seed
+// scenario, the int8 engine's false-alarm rate (anomaly verdicts per
+// scored message) may differ from the f64 reference by at most the
+// promotion-gate budget (0.02), and the warning count must match.
+func TestQuantInt8FARDelta(t *testing.T) {
+	ref := monitorAt(t, detect.PrecisionF64)
+	q := monitorAt(t, detect.PrecisionInt8)
+	wRef := calibrationTraffic(ref)
+	wQ := calibrationTraffic(q)
+	if len(wQ) != len(wRef) {
+		t.Fatalf("int8 warning count %d != f64 %d:\n f64: %+v\n int8: %+v", len(wQ), len(wRef), wRef, wQ)
+	}
+	mRef, aRef := ref.Counters()
+	mQ, aQ := q.Counters()
+	if mRef != mQ {
+		t.Fatalf("message counts diverged: %d vs %d", mRef, mQ)
+	}
+	farRef := float64(aRef) / float64(mRef)
+	farQ := float64(aQ) / float64(mQ)
+	delta := farQ - farRef
+	if delta < 0 {
+		delta = -delta
+	}
+	const gateBudget = 0.02 // lifecycle promotion-gate FAR budget
+	if delta > gateBudget {
+		t.Fatalf("int8 FAR delta %.4f exceeds gate budget %.2f (f64 %.4f, int8 %.4f)",
+			delta, gateBudget, farRef, farQ)
+	}
+	t.Logf("FAR f64=%.4f int8=%.4f delta=%.4f", farRef, farQ, delta)
+}

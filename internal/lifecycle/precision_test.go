@@ -1,0 +1,114 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/ingest"
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/sigtree"
+)
+
+// buildStackPrec is buildStack with a quantized serving precision: the
+// monitor is configured for it and the initial serving set is packed, the
+// way nfvmonitor -precision wires a deployment.
+func buildStackPrec(t testing.TB, lcfg Config, ms *ModelSet, tree *sigtree.Tree, p detect.Precision) (*Manager, *ingest.Monitor) {
+	lm := New(lcfg, ms)
+	mcfg := ingest.DefaultMonitorConfig()
+	mcfg.Threshold = ms.Threshold
+	mcfg.ClusterOf = ms.ClusterOf()
+	mcfg.OnScored = lm.Observe
+	mcfg.Precision = p
+	for _, d := range ms.Detectors {
+		d.SetPrecision(p)
+	}
+	mon := ingest.NewMonitorWithResolver(mcfg, tree, ms.Resolver(), nil)
+	lm.Attach(mon)
+	return lm, mon
+}
+
+// TestPromotionRepacksQuantized pins the promotion/rollback invariant of
+// the quantized serving path: every generation that reaches the monitor
+// is freshly packed to the monitor's precision — a candidate fine-tuned
+// from f64 weights cannot serve unpacked, and a rollback cannot revive a
+// stale engine (both re-pack from the float64 master on the way in).
+func TestPromotionRepacksQuantized(t *testing.T) {
+	ms, tree := testModelSet(t)
+	lm, mon := buildStackPrec(t, testLifecycleConfig(), ms, tree, detect.PrecisionF32)
+	if ms.Detectors[0].PackedBytes() == 0 {
+		t.Fatal("initial serving set not packed")
+	}
+	feedNormal(mon, "vpe01", 200, time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC))
+
+	res := lm.TriggerCycle(true)
+	if !res.Promoted {
+		t.Fatalf("cycle did not promote: %+v", res)
+	}
+	cand := lm.Serving().Detectors[0]
+	if cand.Fingerprint() == ms.Detectors[0].Fingerprint() {
+		t.Fatal("promotion did not change the serving detector")
+	}
+	if cand.Precision() != detect.PrecisionF32 || cand.PackedBytes() == 0 {
+		t.Fatalf("promoted candidate not packed: %v %d", cand.Precision(), cand.PackedBytes())
+	}
+	if got := cand.Model().Precision(); got != detect.PrecisionF32 {
+		t.Fatalf("promoted engine precision = %v, want f32", got)
+	}
+
+	if err := lm.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	back := lm.Serving().Detectors[0]
+	if back.PackedBytes() == 0 || back.Model().Precision() != detect.PrecisionF32 {
+		t.Fatalf("rollback generation not re-packed: %d %v", back.PackedBytes(), back.Model().Precision())
+	}
+	// The monitor still scores through the quantized engine post-rollback.
+	before, _ := mon.Counters()
+	feedNormal(mon, "vpe01", 20, time.Date(2018, 3, 2, 0, 0, 0, 0, time.UTC))
+	if after, _ := mon.Counters(); after != before+20 {
+		t.Fatalf("monitor stopped scoring after rollback: %d -> %d", before, after)
+	}
+}
+
+// TestLifecycleSoakQuantized is the quantized twin of the CI soak: the
+// async serving stack (sharded workers, lifecycle timer, batched
+// inference) runs with the f32 engine active end to end — under -race in
+// make ci, this is what proves the atomic engine swap on promotion is
+// safe against concurrent scorers.
+func TestLifecycleSoakQuantized(t *testing.T) {
+	ms, tree := testModelSet(t)
+	lcfg := testLifecycleConfig()
+	lcfg.Interval = 20 * time.Millisecond
+	lcfg.AdaptEveryCycles = 1
+	lm, mon := buildStackPrec(t, lcfg, ms, tree, detect.PrecisionF32)
+
+	mon.Start()
+	lm.Start()
+
+	at := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	deadline := time.Now().Add(10 * time.Second)
+	i := 0
+	for lm.Generation() == 0 && time.Now().Before(deadline) {
+		for j := 0; j < 50; j++ {
+			mon.Enqueue(logfmt.Message{Time: at, Host: "vpe01", Tag: "rpd", Text: normalTexts[i%len(normalTexts)]})
+			at = at.Add(30 * time.Second)
+			i++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	lm.Stop()
+	mon.Stop()
+
+	if lm.Generation() == 0 {
+		t.Fatalf("no promotion within the soak deadline: status %+v", lm.Status())
+	}
+	d := lm.Serving().Detectors[0]
+	if d.PackedBytes() == 0 || d.Model().Precision() != detect.PrecisionF32 {
+		t.Fatalf("serving generation lost its packed engine: %d %v", d.PackedBytes(), d.Model().Precision())
+	}
+	if msgs, _ := mon.Counters(); msgs == 0 {
+		t.Fatal("monitor processed no messages")
+	}
+}

@@ -1,0 +1,539 @@
+// Quantized serving-path inference: a read-only reduced-precision mirror
+// of a trained float64 SequenceModel, packed once and swapped in behind
+// StepLogProbs/StepLogProbsBatch.
+//
+// The split mirrors the paper's offline/online architecture: training,
+// checkpointing, and transfer-learning adaptation always run against the
+// float64 master (bit-compatible with every existing test and checkpoint),
+// while the serving hot path may run f32 or int8. The warning decision
+// thresholds a log-probability, so serving precision only has to keep the
+// warning sequence (f32) or the false-alarm rate (int8) within budget —
+// the calibration tests in internal/ingest and the repo root pin both.
+//
+// Recurrent state stays in the float64 StreamState. Every quantized step
+// narrows H/C on read and widens them on write; since float32→float64 is
+// exact, the round trip reproduces the f32 recurrence bit for bit while
+// checkpoints, snapshots, and the shard workers' batch gathers keep
+// working untouched.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"nfvpredict/internal/mat"
+)
+
+// Precision selects the serving-path inference engine of a SequenceModel.
+// It is a runtime knob, never serialized: bundles always store float64
+// weights and the owner re-packs after load.
+type Precision uint8
+
+const (
+	// PrecisionF64 is the reference engine: the float64 model itself.
+	PrecisionF64 Precision = iota
+	// PrecisionF32 packs weights to float32 and serves through the
+	// multi-accumulator f32 kernels with polynomial activations.
+	PrecisionF32
+	// PrecisionInt8 additionally row-quantizes the dense Wx/Wh/output
+	// GEMM weights to int8 with i32 accumulation; the sparse layer-0
+	// input projection and all biases stay f32.
+	PrecisionInt8
+)
+
+// String returns the flag-friendly name of the precision mode.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionF32:
+		return "f32"
+	case PrecisionInt8:
+		return "int8"
+	default:
+		return "f64"
+	}
+}
+
+// ParsePrecision parses a -precision flag value.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "float64", "":
+		return PrecisionF64, nil
+	case "f32", "float32":
+		return PrecisionF32, nil
+	case "int8", "i8":
+		return PrecisionInt8, nil
+	}
+	return PrecisionF64, fmt.Errorf("nn: unknown precision %q (want f64, f32, or int8)", s)
+}
+
+// Fast float32 activations. The f64 path pays ~450 math.Exp/math.Tanh
+// calls per step at the benchmark shape; these polynomial forms are the
+// second half of the serving speedup. Error budgets are pinned by
+// TestTanh32Bounded and friends: |tanh32−tanh| ≤ 2e-4, |sigmoid32−σ| ≤
+// 1e-4, exp32 relative error ≤ 1e-5 — all far below the warning margin.
+
+// tanh32Clamp is where the Padé form is abandoned for ±1; beyond it the
+// true tanh is within 1.2e-4 of ±1 anyway.
+const tanh32Clamp = 4.97
+
+// tanh32 approximates tanh with the (7,6) Padé form
+// x·(135135+17325x²+378x⁴+x⁶)/(135135+62370x²+3150x⁴+28x⁶), clamped to
+// [-1, 1] so gate outputs never leave their mathematical range.
+func tanh32(x float32) float32 {
+	if x > tanh32Clamp {
+		return 1
+	}
+	if x < -tanh32Clamp {
+		return -1
+	}
+	x2 := x * x
+	p := x * (135135 + x2*(17325+x2*(378+x2)))
+	q := 135135 + x2*(62370+x2*(3150+28*x2))
+	r := p / q
+	if r > 1 {
+		return 1
+	}
+	if r < -1 {
+		return -1
+	}
+	return r
+}
+
+// sigmoid32 is σ(x) via the tanh identity σ(x) = ½(1 + tanh(x/2)).
+func sigmoid32(x float32) float32 {
+	return 0.5 + 0.5*tanh32(0.5*x)
+}
+
+const (
+	log2e32 = 1.4426950408889634
+	ln2f32  = 0.6931471805599453
+)
+
+// exp32 approximates e^x with the standard 2^n·e^r split: n = round(x/ln2)
+// becomes the float exponent via a bit trick, and e^r (|r| ≤ ln2/2) is a
+// degree-5 polynomial. Used by the quantized log-softmax, where inputs are
+// ≤ 0 after max subtraction.
+func exp32(x float32) float32 {
+	if x < -87 {
+		return 0
+	}
+	if x > 88 {
+		x = 88
+	}
+	nf := float32(math.Floor(float64(x*log2e32) + 0.5))
+	r := x - nf*ln2f32
+	p := 1 + r*(1+r*(0.5+r*(1.0/6+r*(1.0/24+r*(1.0/120)))))
+	return p * math.Float32frombits(uint32(int32(nf)+127)<<23)
+}
+
+// logSoftmax32Into computes float64 log-probabilities from float32 logits:
+// a single-pass max, an exp32 sum, and one float64 math.Log for the
+// normalizer. dst and logits must have the model's vocab length.
+func logSoftmax32Into(dst mat.Vector, logits []float32) mat.Vector {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float32
+	for _, v := range logits {
+		sum += exp32(v - maxv)
+	}
+	lse := float64(maxv) + math.Log(float64(sum))
+	for i, v := range logits {
+		dst[i] = float64(v) - lse
+	}
+	return dst
+}
+
+// quantLSTM is the packed serving form of one LSTM layer. wx is always
+// present in f32 for layer 0, whose input product is a sparse one-hot
+// column gather that an int8 layout cannot serve; at int8 the dense
+// projections live only in wxq/whq and the f32 copies are dropped.
+type quantLSTM struct {
+	in, hidden int
+	bias       []float32
+	wx, wh     *mat.Matrix32
+	wxq, whq   *mat.MatrixI8
+}
+
+// quantDense is the packed output layer (always Identity activation).
+type quantDense struct {
+	in, out int
+	bias    []float32
+	w       *mat.Matrix32
+	wq      *mat.MatrixI8
+}
+
+// quantEngine is one immutable packed model. A SequenceModel holds it
+// behind an atomic pointer: repacking after adaptation or invalidating
+// after a weight mutation is a single pointer store, safe against
+// concurrent scorers mid-step (they finish on the engine they loaded).
+type quantEngine struct {
+	prec  Precision
+	lstms []quantLSTM
+	out   quantDense
+	bytes int // packed weight footprint
+	maxW  int // widest input/hidden width, for scratch sizing
+	maxH  int
+	vocab int
+}
+
+// packEngine builds a fresh engine from the model's current float64
+// weights.
+func (m *SequenceModel) packEngine(p Precision) *quantEngine {
+	e := &quantEngine{prec: p, vocab: m.cfg.Vocab}
+	bias32 := func(row mat.Vector) []float32 {
+		out := make([]float32, len(row))
+		mat.Vector32(out).FromF64(row)
+		e.bytes += 4 * len(out)
+		return out
+	}
+	for li, l := range m.lstms {
+		q := quantLSTM{in: l.In, hidden: l.Hidden, bias: bias32(l.Bp.W.Row(0))}
+		if p == PrecisionInt8 && li > 0 {
+			q.wxq = mat.QuantizeMatrixI8(l.Wxp.W)
+			e.bytes += q.wxq.Bytes()
+		} else {
+			q.wx = mat.PackMatrix32(l.Wxp.W)
+			e.bytes += q.wx.Bytes()
+		}
+		if p == PrecisionInt8 {
+			q.whq = mat.QuantizeMatrixI8(l.Whp.W)
+			e.bytes += q.whq.Bytes()
+		} else {
+			q.wh = mat.PackMatrix32(l.Whp.W)
+			e.bytes += q.wh.Bytes()
+		}
+		e.lstms = append(e.lstms, q)
+		if l.In > e.maxW {
+			e.maxW = l.In
+		}
+		if l.Hidden > e.maxW {
+			e.maxW = l.Hidden
+		}
+		if l.Hidden > e.maxH {
+			e.maxH = l.Hidden
+		}
+	}
+	e.out = quantDense{in: m.out.In, out: m.out.Out, bias: bias32(m.out.Bp.W.Row(0))}
+	if p == PrecisionInt8 {
+		e.out.wq = mat.QuantizeMatrixI8(m.out.Wp.W)
+		e.bytes += e.out.wq.Bytes()
+	} else {
+		e.out.w = mat.PackMatrix32(m.out.Wp.W)
+		e.bytes += e.out.w.Bytes()
+	}
+	return e
+}
+
+// SetPrecision selects the model's serving inference engine, packing the
+// current float64 weights when p is a reduced precision. PrecisionF64
+// drops any packed engine (a no-op fast path when none is attached).
+// Safe to call on a model being scored concurrently: scorers atomically
+// pick up the new engine at their next step.
+func (m *SequenceModel) SetPrecision(p Precision) {
+	if p == PrecisionF64 {
+		m.quant.Store(nil)
+		return
+	}
+	m.quant.Store(m.packEngine(p))
+}
+
+// Precision reports the currently packed serving precision.
+func (m *SequenceModel) Precision() Precision {
+	if e := m.quant.Load(); e != nil {
+		return e.prec
+	}
+	return PrecisionF64
+}
+
+// PackedBytes returns the packed-weight footprint of the active quantized
+// engine, or 0 when serving float64.
+func (m *SequenceModel) PackedBytes() int {
+	if e := m.quant.Load(); e != nil {
+		return e.bytes
+	}
+	return 0
+}
+
+// InvalidatePacked drops any packed engine, reverting the model to the
+// float64 reference path. Callers that mutate weights in place (training,
+// adaptation) invalidate first so a stale quantized mirror can never
+// serve, then re-pack when the mutation is complete.
+func (m *SequenceModel) InvalidatePacked() { m.quant.Store(nil) }
+
+// quantScratch is the per-StreamState buffer set of the quantized
+// sequential step: f32 views of the recurrent state, the gate
+// pre-activation vector, and the int8 staging buffers. Lazily built and
+// keyed on the engine pointer, so scoring is allocation-free after the
+// first step on a given engine.
+type quantScratch struct {
+	gen        *quantEngine
+	x, h, c, z []float32
+	logits     []float32
+	xq, hq     []int8
+	dots       []int32
+}
+
+// dotsLen is the integer-dot scratch size: enough rows for the widest
+// gate block (4·maxH) or the output layer (vocab), whichever is larger.
+func (e *quantEngine) dotsLen() int {
+	n := 4 * e.maxH
+	if e.vocab > n {
+		n = e.vocab
+	}
+	return n
+}
+
+func (st *StreamState) ensureQuant(e *quantEngine) *quantScratch {
+	qs := st.qs
+	if qs != nil && qs.gen == e {
+		return qs
+	}
+	qs = &quantScratch{
+		gen:    e,
+		x:      make([]float32, e.maxW),
+		h:      make([]float32, e.maxH),
+		c:      make([]float32, e.maxH),
+		z:      make([]float32, 4*e.maxH),
+		logits: make([]float32, e.vocab),
+	}
+	if e.prec == PrecisionInt8 {
+		qs.xq = make([]int8, e.maxW)
+		qs.hq = make([]int8, e.maxH)
+		qs.dots = make([]int32, e.dotsLen())
+	}
+	st.qs = qs
+	return qs
+}
+
+// stepQuant is the quantized StepLogProbs: per layer, the bias copy and
+// both packed products build the full gate pre-activation vector z, then
+// one fused epilogue pass applies sigmoid/tanh and folds the cell/hidden
+// state in the same sweep over z — no separate activation buffers, no
+// second traversal. The layer's new hidden output lands in qs.x, which is
+// the next layer's input, and is widened back into the float64
+// StreamState so snapshots and the f64 path stay coherent.
+func (m *SequenceModel) stepQuant(e *quantEngine, tok Token, st *StreamState) mat.Vector {
+	qs := st.ensureQuant(e)
+	in := m.oneHotOf(tok)
+	for li := range e.lstms {
+		q := &e.lstms[li]
+		ls := st.layers[li]
+		H := q.hidden
+		hPrev, c32 := qs.h[:H], qs.c[:H]
+		for j := 0; j < H; j++ {
+			hPrev[j] = float32(ls.H[j])
+			c32[j] = float32(ls.C[j])
+		}
+		z := qs.z[:4*H]
+		copy(z, q.bias)
+		// Input product: sparse gather at layer 0, packed matvec above.
+		if li == 0 {
+			if in.gapCol >= 0 {
+				q.wx.Col2GatherAdd32(z, in.id, 1, in.gapCol, float32(in.gap))
+			} else {
+				q.wx.ColGatherAdd32(z, in.id, 1)
+			}
+		} else {
+			x32 := qs.x[:q.in]
+			if q.wxq != nil {
+				xs, xsum := mat.QuantizeVecI8(qs.xq[:q.in], x32)
+				q.wxq.MulVecAddI8(z, qs.xq[:q.in], xs, xsum, qs.dots)
+			} else {
+				q.wx.MulVecAdd32(z, x32)
+			}
+		}
+		// Recurrent product: one whole-gate-block matvec against h_{t-1}.
+		if q.whq != nil {
+			hq := qs.hq[:H]
+			hs, hsum := mat.QuantizeVecI8(hq, hPrev)
+			q.whq.MulVecAddI8(z, hq, hs, hsum, qs.dots)
+		} else {
+			q.wh.MulVecAdd32(z, hPrev)
+		}
+		// Fused epilogue: gate activations and the c/h fold in a single
+		// pass over z.
+		hNew := qs.x[:H]
+		for j := 0; j < H; j++ {
+			i, f := sigmoid32(z[j]), sigmoid32(z[H+j])
+			g, o := tanh32(z[2*H+j]), sigmoid32(z[3*H+j])
+			c := f*c32[j] + i*g
+			hNew[j] = o * tanh32(c)
+			ls.C[j] = float64(c)
+			ls.H[j] = float64(hNew[j])
+		}
+	}
+	// Output layer: packed matvec into f32 logits, then log-softmax.
+	top := qs.x[:e.out.in]
+	logits := qs.logits[:e.out.out]
+	copy(logits, e.out.bias)
+	if e.out.wq != nil {
+		xs, xsum := mat.QuantizeVecI8(qs.xq[:e.out.in], top)
+		e.out.wq.MulVecAddI8(logits, qs.xq[:e.out.in], xs, xsum, qs.dots)
+	} else {
+		e.out.w.MulVecAdd32(logits, top)
+	}
+	st.logp = ensureVec(st.logp, m.cfg.Vocab)
+	return logSoftmax32Into(st.logp, logits)
+}
+
+// quantBatchScratch is the lane-major buffer set of the quantized batched
+// step, lazily sized like BatchScratch's f64 matrices.
+type quantBatchScratch struct {
+	gen      *quantEngine
+	z, hp, x *mat.Matrix32
+	logits   *mat.Matrix32
+	xq       []int8
+	xscale   []float32
+	xsum     []int32
+	dots     []int32
+}
+
+// ensureMat32 is ensureMat for Matrix32.
+func ensureMat32(m *mat.Matrix32, rows, cols int) *mat.Matrix32 {
+	if m == nil || cap(m.Data) < rows*cols {
+		return mat.NewMatrix32(rows, cols)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:rows*cols]
+	return m
+}
+
+// quantizeLanes quantizes every row of x into qb's int8 staging buffer,
+// returning the lane-major codes plus per-lane scales and code sums.
+func (qb *quantBatchScratch) quantizeLanes(x *mat.Matrix32) ([]int8, []float32, []int32) {
+	B, n := x.Rows, x.Cols
+	if cap(qb.xq) < B*n {
+		qb.xq = make([]int8, B*n)
+	}
+	if cap(qb.xscale) < B {
+		qb.xscale = make([]float32, B)
+		qb.xsum = make([]int32, B)
+	}
+	qb.xq, qb.xscale, qb.xsum = qb.xq[:B*n], qb.xscale[:B], qb.xsum[:B]
+	for b := 0; b < B; b++ {
+		qb.xscale[b], qb.xsum[b] = mat.QuantizeVecI8(qb.xq[b*n:(b+1)*n], x.Row(b))
+	}
+	return qb.xq, qb.xscale, qb.xsum
+}
+
+// stepQuantBatch is the quantized StepLogProbsBatch: per layer, one packed
+// GEMM per projection (f32 MulMatAdd32 or int8 MulMatAddI8) followed by a
+// per-lane gate fold. Lane arithmetic replays stepQuant exactly — the
+// float64 state round-trips through float32 losslessly and every kernel
+// shares the sequential path's summation schedule — so batched quantized
+// scoring is bit-identical to sequential quantized scoring, the same
+// invariant the f64 batch path provides.
+func (m *SequenceModel) stepQuantBatch(e *quantEngine, toks []Token, sts []*StreamState, sc *BatchScratch) []mat.Vector {
+	B := len(toks)
+	if len(sts) != B {
+		panic("nn: StepLogProbsBatch lane count mismatch")
+	}
+	if cap(sc.out) < B {
+		sc.out = make([]mat.Vector, B)
+	}
+	sc.out = sc.out[:B]
+	if B == 0 {
+		return sc.out
+	}
+	if cap(sc.ins) < B {
+		sc.ins = make([]oneHot, B)
+	}
+	sc.ins = sc.ins[:B]
+	for b, tok := range toks {
+		sc.ins[b] = m.oneHotOf(tok)
+	}
+	qb := sc.q
+	if qb == nil || qb.gen != e {
+		qb = &quantBatchScratch{gen: e}
+		if e.prec == PrecisionInt8 {
+			qb.dots = make([]int32, e.dotsLen())
+		}
+		sc.q = qb
+	}
+	for li := range e.lstms {
+		q := &e.lstms[li]
+		H := q.hidden
+		qb.z = ensureMat32(qb.z, B, 4*H)
+		for b := 0; b < B; b++ {
+			copy(qb.z.Row(b), q.bias)
+		}
+		if li == 0 {
+			for b := 0; b < B; b++ {
+				zr := qb.z.Row(b)
+				if in := sc.ins[b]; in.gapCol >= 0 {
+					q.wx.Col2GatherAdd32(zr, in.id, 1, in.gapCol, float32(in.gap))
+				} else {
+					q.wx.ColGatherAdd32(zr, in.id, 1)
+				}
+			}
+		} else {
+			qb.x = ensureMat32(qb.x, B, q.in)
+			for b := 0; b < B; b++ {
+				hprev := sts[b].layers[li-1].H
+				xr := qb.x.Row(b)
+				for j := range xr {
+					xr[j] = float32(hprev[j])
+				}
+			}
+			if q.wxq != nil {
+				xq, xs, xsum := qb.quantizeLanes(qb.x)
+				q.wxq.MulMatAddI8(qb.z, xq, xs, xsum, qb.dots)
+			} else {
+				q.wx.MulMatAdd32(qb.z, qb.x)
+			}
+		}
+		qb.hp = ensureMat32(qb.hp, B, H)
+		for b := 0; b < B; b++ {
+			hprev := sts[b].layers[li].H
+			hr := qb.hp.Row(b)
+			for j := range hr {
+				hr[j] = float32(hprev[j])
+			}
+		}
+		if q.whq != nil {
+			hq, hs, hsum := qb.quantizeLanes(qb.hp)
+			q.whq.MulMatAddI8(qb.z, hq, hs, hsum, qb.dots)
+		} else {
+			q.wh.MulMatAdd32(qb.z, qb.hp)
+		}
+		for b := 0; b < B; b++ {
+			ls := sts[b].layers[li]
+			zr := qb.z.Row(b)
+			for j := 0; j < H; j++ {
+				i, f := sigmoid32(zr[j]), sigmoid32(zr[H+j])
+				g, o := tanh32(zr[2*H+j]), sigmoid32(zr[3*H+j])
+				c := f*float32(ls.C[j]) + i*g
+				ls.C[j] = float64(c)
+				ls.H[j] = float64(o * tanh32(c))
+			}
+		}
+	}
+	top := len(m.lstms) - 1
+	qb.x = ensureMat32(qb.x, B, e.out.in)
+	for b := 0; b < B; b++ {
+		hprev := sts[b].layers[top].H
+		xr := qb.x.Row(b)
+		for j := range xr {
+			xr[j] = float32(hprev[j])
+		}
+	}
+	qb.logits = ensureMat32(qb.logits, B, e.out.out)
+	for b := 0; b < B; b++ {
+		copy(qb.logits.Row(b), e.out.bias)
+	}
+	if e.out.wq != nil {
+		xq, xs, xsum := qb.quantizeLanes(qb.x)
+		e.out.wq.MulMatAddI8(qb.logits, xq, xs, xsum, qb.dots)
+	} else {
+		e.out.w.MulMatAdd32(qb.logits, qb.x)
+	}
+	for b := 0; b < B; b++ {
+		st := sts[b]
+		st.logp = ensureVec(st.logp, m.cfg.Vocab)
+		sc.out[b] = logSoftmax32Into(st.logp, qb.logits.Row(b))
+	}
+	return sc.out
+}
