@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race ci bench bench-nn bench-pipeline bench-obs bench-serving bench-json figures
+.PHONY: build test test-race ci chaos chaos-full bench bench-nn bench-pipeline bench-obs bench-serving bench-json figures
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,22 @@ test:
 # fault-injection suites.
 test-race:
 	$(GO) test -race ./internal/...
+
+# Chaos soak (short, deterministic, race-enabled): replays the seed
+# scenario through the full stack while injecting every fault type —
+# checkpoint disk-full, torn spool writes, slow/panicking scorers,
+# worker panics, a failing adaptation cycle (breaker arc), clock-skewed
+# heartbeats, shed-learning — and asserts the resilience invariants:
+# the monitor never exits, no checkpoint generation is lost, the breaker
+# opens and recovers, and the post-soak warning sequence stays within
+# the documented divergence bound of a fault-free reference run.
+chaos:
+	$(GO) test ./internal/chaos/ -run TestChaosSoakShort -race -count=1 -v
+
+# Long soak: several rounds of the fault schedule over more hosts and
+# shards. Not part of ci; run before cutting a release.
+chaos-full:
+	CHAOS_SOAK=full $(GO) test ./internal/chaos/ -run TestChaosSoakFull -race -count=1 -timeout 20m -v
 
 # Full gate: what a CI job runs. Vet, build, the whole test suite, the
 # race pass over the concurrent packages (which covers the shard
@@ -32,6 +48,7 @@ ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) test-race
+	$(MAKE) chaos
 	$(GO) test ./internal/lifecycle/ -run 'TestLifecycleSoakSmoke|TestLifecycleSoakQuantized' -race -count=1
 	$(GO) test ./internal/ingest/ -run 'TestQuantF32WarningParity|TestQuantInt8FARDelta' -count=1
 	$(GO) test ./internal/detect/ -run 'TestSetPrecision|TestClonePropagatesPrecision|TestUpdateRepacks|TestAdaptRepacks' -count=1
@@ -62,7 +79,8 @@ bench-json:
 	{ $(GO) test ./internal/ingest/ -run XXX -bench 'MonitorHandleMessage|MonitorParallel|ShardSerialSection' -benchmem ; \
 	  $(GO) test ./internal/nn/ -run XXX -bench 'StepLogProbs' -benchmem ; \
 	  $(GO) test ./internal/mat/ -run XXX -bench 'MulVecAdd|MulMatAdd' -benchmem ; \
-	  $(GO) test ./internal/lifecycle/ -run XXX -bench 'AdaptationCycle' -benchmem -benchtime 5x ; } \
+	  $(GO) test ./internal/lifecycle/ -run XXX -bench 'AdaptationCycle' -benchmem -benchtime 5x ; \
+	  $(GO) test ./internal/chaos/ -run XXX -bench 'ChaosSoak' -benchtime 1x ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_serving.json
 	@echo wrote BENCH_serving.json
 

@@ -46,11 +46,13 @@ import (
 	"nfvpredict"
 	"nfvpredict/internal/bundle"
 	"nfvpredict/internal/detect"
+	"nfvpredict/internal/faultinject"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/ingest"
 	"nfvpredict/internal/lifecycle"
 	"nfvpredict/internal/obs"
 	"nfvpredict/internal/pipeline"
+	"nfvpredict/internal/resilience"
 	"nfvpredict/internal/sigtree"
 )
 
@@ -68,6 +70,8 @@ type options struct {
 	admin     string
 	traceBuf  int
 	verbose   bool
+	watchdog  time.Duration
+	chaos     bool
 
 	adapt         bool
 	adaptInterval time.Duration
@@ -90,6 +94,8 @@ func main() {
 	flag.StringVar(&o.admin, "admin", "", "admin HTTP listen address serving /metrics, /statusz, /traces, /healthz, /readyz, /debug/pprof (empty disables)")
 	flag.IntVar(&o.traceBuf, "trace-buffer", 256, "decision traces retained for /traces")
 	flag.BoolVar(&o.verbose, "v", false, "verbose (debug-level) logging")
+	flag.DurationVar(&o.watchdog, "watchdog", 30*time.Second, "stuck-shard-worker deadline: a worker with queued work and no heartbeat progress for this long is abandoned and replaced (0 disables)")
+	flag.BoolVar(&o.chaos, "chaos", false, "enable runtime fault injection: registers the process-wide fault points and mounts the /chaos admin endpoint (drills only — never in production)")
 	flag.BoolVar(&o.adapt, "adapt", false, "enable the online model lifecycle: drift detection, background fine-tuning, shadow-gated promotion (adds /models to the admin surface)")
 	flag.DurationVar(&o.adaptInterval, "adapt-interval", 10*time.Minute, "lifecycle cycle period (drift check + possible adaptation)")
 	flag.Float64Var(&o.adaptGate, "adapt-gate", 0.02, "promotion gate: max false-alarm rate a candidate may show on held-out spooled traffic")
@@ -116,6 +122,12 @@ type app struct {
 	life    *lifecycle.Manager
 	spool   string
 	started time.Time
+
+	// degrader is the degradation controller: it samples queue pressure and
+	// fault counters (sampleDegrade, on a timer in run) and steps the stack
+	// between normal / shed-learning / shed-scoring. chaos mirrors -chaos.
+	degrader *resilience.Degrader
+	chaos    bool
 
 	reloads        *obs.Counter
 	reloadFailures *obs.Counter
@@ -155,6 +167,20 @@ type ckptStatus struct {
 	RestoredAt  time.Time `json:"restored_at,omitempty"`
 }
 
+// resilienceStatus is the /statusz section describing the runtime
+// resilience layer: the active degradation mode and why, supervision
+// counters, the full named health-condition set, and whether chaos fault
+// injection is armed into this process.
+type resilienceStatus struct {
+	DegradeMode    string          `json:"degrade_mode"`
+	DegradeReason  string          `json:"degrade_reason,omitempty"`
+	WorkerRestarts uint64          `json:"worker_restarts"`
+	WatchdogKicks  uint64          `json:"watchdog_kicks"`
+	ShardPanics    uint64          `json:"shard_panics"`
+	Conditions     []obs.Condition `json:"conditions"`
+	ChaosEnabled   bool            `json:"chaos_enabled,omitempty"`
+}
+
 // statusDoc is the /statusz document.
 type statusDoc struct {
 	Now        time.Time           `json:"now"`
@@ -167,6 +193,7 @@ type statusDoc struct {
 	Ingest     ingest.Stats        `json:"ingest"`
 	Traces     uint64              `json:"traces_total"`
 	Lifecycle  *lifecycle.Status   `json:"lifecycle,omitempty"`
+	Resilience resilienceStatus    `json:"resilience"`
 	// Precision is the active serving inference mode (f64/f32/int8);
 	// ModelPackedBytes is the total packed-weight footprint of the
 	// quantized serving engines (0 at f64).
@@ -247,6 +274,21 @@ func (a *app) status() any {
 		st := a.life.Status()
 		doc.Lifecycle = &st
 	}
+	doc.Resilience = resilienceStatus{
+		DegradeMode:    doc.Monitor.DegradeMode,
+		WorkerRestarts: doc.Monitor.WorkerRestarts,
+		WatchdogKicks:  doc.Monitor.WatchdogKicks,
+		ShardPanics:    doc.Monitor.ShardPanics,
+		Conditions:     a.health.Conditions(),
+		ChaosEnabled:   a.chaos,
+	}
+	if a.degrader != nil {
+		rm := a.degrader.Mode()
+		doc.Resilience.DegradeMode = rm.String()
+		if rm != resilience.ModeNormal {
+			doc.Resilience.DegradeReason = a.degrader.Reason()
+		}
+	}
 	doc.Precision = a.precision.String()
 	doc.ModelPackedBytes = a.packedBytes()
 	return doc
@@ -254,7 +296,9 @@ func (a *app) status() any {
 
 // adminMux assembles the admin surface. With the lifecycle enabled it also
 // mounts the model-management endpoints: GET /models, POST /models/adapt,
-// POST /models/promote, POST /models/rollback.
+// POST /models/promote, POST /models/rollback. With -chaos it mounts the
+// fault-point registry: GET /chaos/ (point listing), POST /chaos/arm,
+// POST /chaos/disarm.
 func (a *app) adminMux() *http.ServeMux {
 	mux := obs.NewAdminMux(obs.AdminConfig{
 		Registry: a.reg,
@@ -267,7 +311,59 @@ func (a *app) adminMux() *http.ServeMux {
 		mux.Handle("/models", h)
 		mux.Handle("/models/", h)
 	}
+	if a.chaos {
+		mux.Handle("/chaos/", http.StripPrefix("/chaos", faultinject.Default.Handler()))
+	}
 	return mux
+}
+
+// initDegrader builds the degradation controller. Mode transitions fan out
+// to every consumer: the monitor (shed-scoring short-circuits the scoring
+// hot path), the lifecycle (shed-learning stops spooling and timer cycles),
+// and the health conditions (/readyz goes 503 only at shed-scoring — the
+// point where warnings can no longer be emitted; shed-learning is an
+// informational degradation, the monitor still warns).
+func (a *app) initDegrader() {
+	a.degrader = resilience.NewDegrader(resilience.DegraderConfig{}, func(from, to resilience.Mode, reason string) {
+		a.mon.SetDegrade(to)
+		if a.life != nil {
+			a.life.SetShedLearning(to >= resilience.ModeShedLearning, reason)
+		}
+		// One write per transition — the same named condition flips between
+		// critical (shed-scoring: warnings stop, readiness must go red) and
+		// informational (shed-learning: still warning, operators should see
+		// it but load balancers should not route around it).
+		switch to {
+		case resilience.ModeShedScoring:
+			a.health.SetCondition("degradation", false, "scoring shed: "+reason)
+		case resilience.ModeShedLearning:
+			a.health.SetDegraded("degradation", true, "learning shed: "+reason)
+		default:
+			a.health.SetDegraded("degradation", false, "")
+		}
+		a.log.Warn("degradation mode change", "from", from.String(), "to", to.String(), "reason", reason)
+	})
+}
+
+// sampleDegrade feeds the degradation controller one observation (queue
+// pressure plus cumulative fault counters; the controller works in deltas)
+// and refreshes the adaptation-breaker health condition. Called on a timer
+// from run and directly by tests.
+func (a *app) sampleDegrade() {
+	if a.degrader == nil || a.mon == nil {
+		return
+	}
+	st := a.mon.Stats()
+	a.degrader.Eval(resilience.Sample{
+		QueueFrac:     a.mon.QueueFrac(),
+		ScoringFaults: st.ShardPanics,
+		IOFaults:      a.ckptFailures.Value(),
+	})
+	if a.life != nil {
+		bst := a.life.BreakerStatus()
+		a.health.SetDegraded("adaptation", bst.StateName != "closed",
+			"adaptation breaker "+bst.StateName)
+	}
 }
 
 // setBundle records the serving model in /statusz.
@@ -277,16 +373,22 @@ func (a *app) setBundle(b bundleStatus) {
 	a.mu.Unlock()
 }
 
-// reload re-reads the bundle file and swaps it in. A bundle that fails to
-// load or validate is rejected: the serving model stays active, the
-// failure is counted, and readiness flips off (with the error as reason)
-// until a reload succeeds — exactly the state an operator should see on
-// /readyz while a bad bundle sits on disk.
+// reload re-reads the bundle file and swaps it in. Transient load failures
+// are retried; a bundle that still fails to load or validate is rejected:
+// the serving model stays active, the failure is counted, and the "bundle"
+// readiness condition flips off (with the error as reason) until a reload
+// succeeds — exactly the state an operator should see on /readyz while a
+// bad bundle sits on disk.
 func (a *app) reload(model string) error {
-	b, err := bundle.LoadFile(model)
+	var b *bundle.Bundle
+	err := resilience.Retry(nil, resilience.RetryPolicy{Attempts: 3, Base: 50 * time.Millisecond}, func() error {
+		var lerr error
+		b, lerr = bundle.LoadFile(model)
+		return lerr
+	})
 	if err != nil {
 		a.reloadFailures.Inc()
-		a.health.SetReady(false, fmt.Sprintf("hot-reload of %s rejected: %v", model, err))
+		a.health.SetCondition("bundle", false, fmt.Sprintf("hot-reload of %s rejected: %v", model, err))
 		a.log.Error("hot-reload rejected, keeping serving bundle", "model", model, "err", err)
 		return err
 	}
@@ -315,7 +417,7 @@ func (a *app) reload(model string) error {
 		a.life.SetServing(lifecycle.ModelSetFromBundle(b))
 	}
 	a.reloads.Inc()
-	a.health.SetReady(true, "")
+	a.health.SetCondition("bundle", true, "")
 	a.setBundle(bundleStatus{
 		Path:          model,
 		FormatVersion: bundle.Version,
@@ -329,13 +431,21 @@ func (a *app) reload(model string) error {
 	return nil
 }
 
-// saveCheckpoint writes the checkpoint file, recording the outcome for
-// /statusz and /metrics.
+// ioRetry is the retry policy for durable writes (checkpoint and spool):
+// transient conditions — disk briefly full, an injected fault — are
+// absorbed here, and the atomic-write discipline underneath guarantees the
+// previous artifact survives every failed attempt.
+var ioRetry = resilience.RetryPolicy{Attempts: 3, Base: 50 * time.Millisecond, Max: 2 * time.Second}
+
+// saveCheckpoint writes the checkpoint file with retries, recording the
+// outcome for /statusz and /metrics.
 func (a *app) saveCheckpoint(path, reason string) {
 	if path == "" {
 		return
 	}
-	err := a.mon.CheckpointFile(path)
+	err := resilience.Retry(nil, ioRetry, func() error {
+		return a.mon.CheckpointFile(path)
+	})
 	now := time.Now()
 	a.mu.Lock()
 	a.ckpt.Path = path
@@ -356,7 +466,10 @@ func (a *app) saveCheckpoint(path, reason string) {
 	// The spool rides along with the checkpoint so the two artifacts agree
 	// on tree lineage; a spool failure never blocks the checkpoint.
 	if a.life != nil && a.spool != "" {
-		if serr := a.life.SaveSpool(a.spool); serr != nil {
+		serr := resilience.Retry(nil, ioRetry, func() error {
+			return a.life.SaveSpool(a.spool)
+		})
+		if serr != nil {
 			a.log.Error("spool save failed", "path", a.spool, "err", serr)
 		} else {
 			a.log.Debug("spool written", "path", a.spool, "reason", reason)
@@ -477,6 +590,13 @@ func run(o options) error {
 	if mcfg.Shards <= 0 {
 		mcfg.Shards = runtime.GOMAXPROCS(0)
 	}
+	mcfg.Watchdog = o.watchdog
+	a.chaos = o.chaos
+	if o.chaos {
+		// Fault drills: score/worker/heartbeat fault points become live and
+		// operator-togglable through POST /chaos/arm.
+		mcfg.Faults = faultinject.Default
+	}
 	// The lifecycle manager is built before the monitor because the monitor
 	// config needs its Observe hook; the monitor is attached just after.
 	if o.adapt {
@@ -485,6 +605,9 @@ func run(o options) error {
 		lcfg.GateBudget = o.adaptGate
 		lcfg.Metrics = a.reg
 		lcfg.Log = log.New(os.Stdout, "", log.LstdFlags)
+		if o.chaos {
+			lcfg.Faults = faultinject.Default
+		}
 		a.life = lifecycle.New(lcfg, ms)
 		a.spool = o.adaptSpool
 		mcfg.OnScored = a.life.Observe
@@ -500,7 +623,13 @@ func run(o options) error {
 		if _, serr := os.Stat(o.ckpt); serr == nil {
 			restored, rerr := ingest.RestoreMonitorFile(o.ckpt, mcfg, resolve, onWarning)
 			if rerr != nil {
-				a.log.Warn("checkpoint unusable, starting cold", "path", o.ckpt, "err", rerr)
+				// Move the corrupt file aside so the next interval save does
+				// not overwrite the evidence, then start cold.
+				if qpath, qerr := resilience.Quarantine(o.ckpt); qerr != nil {
+					a.log.Warn("checkpoint unusable, starting cold", "path", o.ckpt, "err", rerr, "quarantine_err", qerr)
+				} else {
+					a.log.Warn("checkpoint unusable, starting cold", "path", o.ckpt, "err", rerr, "quarantined", qpath)
+				}
 			} else {
 				a.mon = restored
 				st := a.mon.Stats()
@@ -515,6 +644,7 @@ func run(o options) error {
 	if a.mon == nil {
 		a.mon = ingest.NewMonitorWithResolver(mcfg, tree, resolve, onWarning)
 	}
+	a.initDegrader()
 	if a.life != nil {
 		a.life.Attach(a.mon)
 		if lerr := a.life.LoadSpool(o.adaptSpool); lerr != nil {
@@ -579,6 +709,8 @@ func run(o options) error {
 
 	status := time.NewTicker(10 * time.Second)
 	defer status.Stop()
+	degradeTick := time.NewTicker(5 * time.Second)
+	defer degradeTick.Stop()
 	ckptTick := make(<-chan time.Time) // nil channel: disabled
 	if o.ckpt != "" && o.ckptEvery > 0 {
 		t := time.NewTicker(o.ckptEvery)
@@ -611,6 +743,8 @@ func run(o options) error {
 			}
 		case <-ckptTick:
 			a.saveCheckpoint(o.ckpt, "interval")
+		case <-degradeTick.C:
+			a.sampleDegrade()
 		case <-status.C:
 			a.packedBytes() // refresh the gauge after lifecycle promotions
 			mst := a.mon.Stats()

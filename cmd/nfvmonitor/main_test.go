@@ -18,6 +18,7 @@ import (
 	"nfvpredict/internal/lifecycle"
 	"nfvpredict/internal/logfmt"
 	"nfvpredict/internal/obs"
+	"nfvpredict/internal/resilience"
 	"nfvpredict/internal/sigtree"
 )
 
@@ -242,6 +243,93 @@ func testAppAdapt(t *testing.T) (*app, *http.ServeMux) {
 	a.mon = ingest.NewMonitorWithResolver(mcfg, tree, ms.Resolver(), nil)
 	a.life.Attach(a.mon)
 	return a, a.adminMux()
+}
+
+// TestReadyzNamedConditions drives the degradation controller through its
+// modes and checks the admin surface reports them as *named* conditions:
+// shed-learning is informational (readiness stays 200, the degradation is
+// listed), shed-scoring fails the "degradation" condition (warnings can no
+// longer be emitted, so /readyz must go 503), and recovery walks both back.
+func TestReadyzNamedConditions(t *testing.T) {
+	a, mux := testAppAdapt(t)
+	a.initDegrader()
+
+	if code, body := get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz at baseline: %d %q", code, body)
+	}
+
+	// A burst of durable-I/O faults sheds learning: spooling and timer
+	// cycles pause, but scoring — and therefore readiness — is untouched.
+	a.degrader.Eval(resilience.Sample{}) // prime the delta baselines
+	a.degrader.Eval(resilience.Sample{IOFaults: 5})
+	if got := a.degrader.Mode(); got != resilience.ModeShedLearning {
+		t.Fatalf("mode after I/O fault burst = %v, want shed-learning", got)
+	}
+	if !a.life.ShedLearning() {
+		t.Fatal("shed-learning mode did not reach the lifecycle manager")
+	}
+	code, body := get(t, mux, "/readyz")
+	if code != http.StatusOK || !strings.Contains(body, "degraded: degradation: learning shed") {
+		t.Fatalf("readyz at shed-learning: %d %q", code, body)
+	}
+
+	// Scoring faults bursting escalates to shed-scoring: the "degradation"
+	// condition fails by name and readiness goes red.
+	a.degrader.Eval(resilience.Sample{IOFaults: 5, ScoringFaults: 5})
+	if code, body = get(t, mux, "/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "degradation: scoring shed") {
+		t.Fatalf("readyz at shed-scoring: %d %q", code, body)
+	}
+	var rdoc struct {
+		Ready      bool            `json:"ready"`
+		Conditions []obs.Condition `json:"conditions"`
+	}
+	if _, body = get(t, mux, "/readyz?format=json"); json.Unmarshal([]byte(body), &rdoc) != nil {
+		t.Fatalf("decoding readyz json: %s", body)
+	}
+	found := false
+	for _, c := range rdoc.Conditions {
+		if c.Name == "degradation" && !c.OK && strings.Contains(c.Reason, "scoring shed") {
+			found = true
+		}
+	}
+	if rdoc.Ready || !found {
+		t.Fatalf("readyz json lacks the failing named condition: %s", body)
+	}
+	// /statusz carries the same state in its resilience section.
+	var sdoc struct {
+		Resilience struct {
+			DegradeMode string          `json:"degrade_mode"`
+			Conditions  []obs.Condition `json:"conditions"`
+		} `json:"resilience"`
+	}
+	if _, body = get(t, mux, "/statusz"); json.Unmarshal([]byte(body), &sdoc) != nil ||
+		sdoc.Resilience.DegradeMode != "shed-scoring" {
+		t.Fatalf("statusz resilience section: %s", body)
+	}
+
+	// Recovery is stepwise: clean evaluations walk shed-scoring back to
+	// shed-learning and then to normal, and readiness returns with them.
+	for i := 0; i < 6; i++ {
+		a.degrader.Eval(resilience.Sample{IOFaults: 5, ScoringFaults: 5})
+	}
+	if got := a.degrader.Mode(); got != resilience.ModeNormal {
+		t.Fatalf("mode after clean evals = %v, want normal", got)
+	}
+	if a.life.ShedLearning() {
+		t.Fatal("recovery did not lift shed-learning from the lifecycle manager")
+	}
+	if code, body = get(t, mux, "/readyz"); code != http.StatusOK || strings.Contains(body, "degraded:") {
+		t.Fatalf("readyz after recovery: %d %q", code, body)
+	}
+
+	// The adaptation breaker surfaces as an informational condition on the
+	// same sampling tick (closed here, so degraded=false but present once a
+	// sample ran).
+	a.sampleDegrade()
+	if _, body = get(t, mux, "/statusz"); !strings.Contains(body, `"adaptation"`) {
+		t.Fatalf("statusz lacks the adaptation breaker condition: %s", body)
+	}
 }
 
 // TestAdminLifecycleWiring drives the -adapt runtime surface end to end:

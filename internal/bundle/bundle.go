@@ -24,6 +24,7 @@ import (
 
 	"nfvpredict/internal/atomicfile"
 	"nfvpredict/internal/detect"
+	"nfvpredict/internal/faultinject"
 	"nfvpredict/internal/sigtree"
 	"nfvpredict/internal/wireframe"
 )
@@ -192,8 +193,15 @@ func (b *Bundle) SaveFile(path string) error {
 	return atomicfile.Write(path, b.Save)
 }
 
-// LoadFile loads and validates the bundle at path.
+// LoadFile loads and validates the bundle at path. The bundle.load fault
+// point (process-wide registry) can inject load failures to drill the
+// hot-reload rejection path: a failed load must leave the serving model
+// untouched and flip readiness, never crash the monitor.
 func LoadFile(path string) (*Bundle, error) {
+	if err := faultinject.Default.Point("bundle.load",
+		"Before reading a model bundle: error/slow failures drill the hot-reload rejection path.").Fire(); err != nil {
+		return nil, fmt.Errorf("bundle: load %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

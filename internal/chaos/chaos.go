@@ -1,0 +1,490 @@
+// Package chaos is the resilience soak harness: it replays a deterministic
+// traffic scenario through the full serving stack twice — once fault-free
+// and synchronous (the reference), once asynchronous with the supervised
+// shard workers, the lifecycle, and a scripted schedule of injected faults
+// (disk-full checkpoints, torn spool writes, slow and panicking scoring,
+// worker-loop panics, failing adaptation cycles, a skewed watchdog clock) —
+// and then compares the two runs' warning output.
+//
+// The invariants it enforces are the PR-7 acceptance criteria: the monitor
+// never exits, no checkpoint generation is ever lost (every save attempt is
+// followed by a restore of whatever is on disk, whose message counter must
+// be monotone), the adaptation breaker opens under injected cycle failures
+// and recovers after the cooldown, and the chaos run's per-host warning
+// counts diverge from the reference by at most DivergenceBound — faults may
+// cost the batches that were in flight when a worker died, never the stream.
+//
+// Run from `make chaos` (short, race-enabled, part of `make ci`) and
+// `make chaos-full` (the long soak, CHAOS_SOAK=full).
+package chaos
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nfvpredict/internal/detect"
+	"nfvpredict/internal/faultinject"
+	"nfvpredict/internal/features"
+	"nfvpredict/internal/ingest"
+	"nfvpredict/internal/lifecycle"
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/resilience"
+	"nfvpredict/internal/sigtree"
+)
+
+// DivergenceBound is the documented ceiling on warning divergence between
+// the chaos run and the fault-free reference: the per-host symmetric
+// difference of warning counts over the reference total. Faults are allowed
+// to cost the few batches that were dequeued when a scoring panic fired
+// (at most MaxBatch messages each, well under one warning burst per
+// incident); anything above the bound means fault handling is eating the
+// stream itself.
+const DivergenceBound = 0.2
+
+// Config parameterizes a soak. The zero value is the short CI soak.
+type Config struct {
+	// Shards is the chaos monitor's shard count (default 4; the reference
+	// run always uses 1 so its warning order is deterministic).
+	Shards int
+	// Hosts is the number of simulated vPE routers (default 4).
+	Hosts int
+	// Rounds repeats the whole fault schedule (default 1; the full soak
+	// runs several).
+	Rounds int
+	// Dir is where checkpoint/spool artifacts live; "" uses a temp dir
+	// that is removed when Run returns.
+	Dir string
+	// Log, when set, receives one line per fault-schedule step.
+	Log *log.Logger
+}
+
+// Report is what a soak measured.
+type Report struct {
+	// Messages is the chaos monitor's processed-message count.
+	Messages uint64
+	// RefWarnings and ChaosWarnings are total warning counts per run.
+	RefWarnings   int
+	ChaosWarnings int
+	// WarnDivergence is the per-host symmetric difference of warning
+	// counts over the reference total (see DivergenceBound).
+	WarnDivergence float64
+	// FaultsFired maps fault-point name → injected-failure count; the
+	// DistinctFaults summary counts the nonzero entries.
+	FaultsFired    map[string]uint64
+	DistinctFaults int
+	// CheckpointSaves counts successful checkpoint writes;
+	// CheckpointRetries counts failed attempts absorbed by the retrier.
+	CheckpointSaves   uint64
+	CheckpointRetries uint64
+	// SpoolSaves / SpoolRetries are the same for the lifecycle spool.
+	SpoolSaves   uint64
+	SpoolRetries uint64
+	// BreakerOpens counts adaptation-breaker openings; BreakerRecovered
+	// reports that the breaker was closed again by a clean probe.
+	BreakerOpens     uint64
+	BreakerRecovered bool
+	// Supervision counters from the chaos monitor.
+	WorkerRestarts uint64
+	WatchdogKicks  uint64
+	ShardPanics    uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 4
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log.Printf(format, args...)
+	}
+}
+
+// normalTexts is the cyclic healthy corpus (mirrors the training fixture
+// used across the ingest and lifecycle tests).
+var normalTexts = []string{
+	"bgp keepalive exchanged with peer 10.0.0.1 hold 90",
+	"interface statistics poll completed for ge-0/0/1 in 12 ms",
+	"fpc 0 cpu utilization 20 percent memory 40 percent",
+	"ntp clock synchronized to 10.9.9.9 stratum 2 offset 120 us",
+}
+
+// buildTree grows a signature tree over the training corpus. Called once
+// per run so the reference and chaos monitors each own an identical but
+// independent tree (template IDs are deterministic in Learn order).
+func buildTree() (*sigtree.Tree, []features.Event) {
+	tree := sigtree.New()
+	var stream []features.Event
+	base := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 1200; i++ {
+		tpl := tree.Learn(normalTexts[i%len(normalTexts)])
+		stream = append(stream, features.Event{Time: base.Add(time.Duration(i) * 30 * time.Second), Template: tpl.ID})
+	}
+	return tree, stream
+}
+
+// trainModelSet trains the single-cluster serving set both runs score with.
+func trainModelSet(hosts int) (*lifecycle.ModelSet, error) {
+	_, stream := buildTree()
+	cfg := detect.DefaultLSTMConfig()
+	cfg.Hidden = []int{16}
+	cfg.MaxVocab = 16
+	cfg.Epochs = 6
+	cfg.OverSampleRounds = 0
+	det := detect.NewLSTMDetector(cfg)
+	if err := det.Train([][]features.Event{stream}); err != nil {
+		return nil, fmt.Errorf("chaos: training: %w", err)
+	}
+	assign := make(map[string]int, hosts)
+	for h := 0; h < hosts; h++ {
+		assign[hostName(h)] = 0
+	}
+	return &lifecycle.ModelSet{
+		Detectors: []*detect.LSTMDetector{det},
+		Assign:    assign,
+		Threshold: 4,
+	}, nil
+}
+
+func hostName(h int) string { return fmt.Sprintf("vpe%02d", h+1) }
+
+// segment is one fault-schedule step's worth of traffic: per host, normal
+// cyclic messages with one six-message anomaly burst in the middle (2s
+// spacing, so §5.1 clusters it into exactly one warning per host).
+type segment struct {
+	msgs []logfmt.Message
+}
+
+// script builds the deterministic message schedule: segsPerRound segments
+// per round, each with per-host time cursors advancing 30s per normal
+// message. The same script feeds both runs.
+func script(cfg Config, segsPerRound int) []segment {
+	cursors := make([]time.Time, cfg.Hosts)
+	base := time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+	for h := range cursors {
+		cursors[h] = base.Add(time.Duration(h) * time.Second)
+	}
+	var segs []segment
+	burstID := 0
+	for r := 0; r < cfg.Rounds; r++ {
+		for s := 0; s < segsPerRound; s++ {
+			var seg segment
+			for h := 0; h < cfg.Hosts; h++ {
+				host := hostName(h)
+				emitNormal := func(n int) {
+					for i := 0; i < n; i++ {
+						seg.msgs = append(seg.msgs, logfmt.Message{
+							Time: cursors[h], Host: host, Tag: "rpd",
+							Text: normalTexts[(r+s+i)%len(normalTexts)],
+						})
+						cursors[h] = cursors[h].Add(30 * time.Second)
+					}
+				}
+				emitNormal(20)
+				burstID++
+				for i := 0; i < 6; i++ {
+					seg.msgs = append(seg.msgs, logfmt.Message{
+						Time: cursors[h], Host: host, Tag: "chassisd",
+						Text: fmt.Sprintf("unexpected fabric drop alarm code %d on plane %d", burstID*7+i, i),
+					})
+					cursors[h] = cursors[h].Add(2 * time.Second)
+				}
+				emitNormal(10)
+			}
+			segs = append(segs, seg)
+		}
+	}
+	return segs
+}
+
+// refRun replays every segment synchronously through a single-shard,
+// fault-free monitor and returns per-host warning counts.
+func refRun(ms *lifecycle.ModelSet, segs []segment) map[string]int {
+	tree, _ := buildTree()
+	mcfg := ingest.DefaultMonitorConfig()
+	mcfg.Threshold = ms.Threshold
+	mcfg.Shards = 1
+	mcfg.ClusterOf = ms.ClusterOf()
+	mon := ingest.NewMonitorWithResolver(mcfg, tree, ms.Resolver(), nil)
+	for _, seg := range segs {
+		for _, msg := range seg.msgs {
+			mon.HandleMessage(msg)
+		}
+	}
+	return warningCounts(mon)
+}
+
+func warningCounts(mon *ingest.Monitor) map[string]int {
+	counts := make(map[string]int)
+	for _, w := range mon.Warnings() {
+		counts[w.VPE]++
+	}
+	return counts
+}
+
+// Run executes one soak and returns its report. A non-nil error means an
+// acceptance invariant the harness itself enforces (checkpoint restore,
+// queue drain, breaker recovery) was violated — divergence and fault
+// counts are the caller's to judge against the thresholds in Report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "nfv-chaos-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	ms, err := trainModelSet(cfg.Hosts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Each fault phase arms points, then feeds one traffic segment and
+	// waits for the stack to settle.
+	phases := []string{
+		"baseline", "checkpoint-disk-full", "spool-torn", "score-slow",
+		"score-panic", "worker-panic", "breaker", "clock-skew", "shed-learning",
+	}
+	segs := script(cfg, len(phases))
+	refCounts := refRun(ms, segs)
+
+	// Chaos stack: supervised sharded monitor + lifecycle, both wired to a
+	// private fault registry.
+	reg := faultinject.NewRegistry()
+	tree, _ := buildTree()
+	lcfg := lifecycle.DefaultConfig()
+	lcfg.Interval = 0 // cycles driven explicitly by the schedule
+	lcfg.GateBudget = 1
+	lcfg.MinDriftEvents = 1 << 30
+	lcfg.BreakerThreshold = 2
+	lcfg.BreakerCooldown = 50 * time.Millisecond
+	lcfg.Faults = reg
+	lcfg.Log = cfg.Log
+	lm := lifecycle.New(lcfg, ms)
+	mcfg := ingest.DefaultMonitorConfig()
+	mcfg.Threshold = ms.Threshold
+	mcfg.Shards = cfg.Shards
+	mcfg.Watchdog = 50 * time.Millisecond
+	mcfg.Faults = reg
+	mcfg.ClusterOf = ms.ClusterOf()
+	mcfg.OnScored = lm.Observe
+	mon := ingest.NewMonitorWithResolver(mcfg, tree, ms.Resolver(), nil)
+	lm.Attach(mon)
+	mon.Start()
+	defer mon.Stop()
+
+	rep := &Report{FaultsFired: make(map[string]uint64)}
+	ckptPath := filepath.Join(dir, "monitor.nfvc")
+	spoolPath := filepath.Join(dir, "lifecycle.nfvs")
+	retryPol := resilience.RetryPolicy{Attempts: 5, Base: time.Millisecond, Max: 20 * time.Millisecond, Seed: 1}
+	var lastRestored uint64
+
+	// checkpoint saves with retry, then proves the on-disk generation is
+	// restorable and its message counter never went backwards — the
+	// "no checkpoint generation lost" invariant.
+	checkpoint := func() error {
+		before := pointFired(reg, "checkpoint.write")
+		if err := resilience.Retry(nil, retryPol, func() error {
+			return mon.CheckpointFile(ckptPath)
+		}); err != nil {
+			return fmt.Errorf("chaos: checkpoint exhausted retries: %w", err)
+		}
+		rep.CheckpointSaves++
+		rep.CheckpointRetries += pointFired(reg, "checkpoint.write") - before
+		rcfg := ingest.DefaultMonitorConfig()
+		rcfg.Threshold = ms.Threshold
+		rcfg.ClusterOf = ms.ClusterOf()
+		restored, err := ingest.RestoreMonitorFile(ckptPath, rcfg, ms.Resolver(), nil)
+		if err != nil {
+			return fmt.Errorf("chaos: checkpoint on disk unrestorable: %w", err)
+		}
+		msgs, _ := restored.Counters()
+		if msgs < lastRestored {
+			return fmt.Errorf("chaos: checkpoint went backwards: restored %d after %d", msgs, lastRestored)
+		}
+		lastRestored = msgs
+		return nil
+	}
+	saveSpool := func() error {
+		before := pointFired(reg, "spool.write")
+		if err := resilience.Retry(nil, retryPol, func() error {
+			return lm.SaveSpool(spoolPath)
+		}); err != nil {
+			return fmt.Errorf("chaos: spool save exhausted retries: %w", err)
+		}
+		rep.SpoolSaves++
+		rep.SpoolRetries += pointFired(reg, "spool.write") - before
+		return nil
+	}
+	feed := func(seg segment) error {
+		for _, msg := range seg.msgs {
+			for !mon.Enqueue(msg) {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		return drain(mon)
+	}
+
+	for i, seg := range segs {
+		phase := phases[i%len(phases)]
+		cfg.logf("chaos: phase %d/%d: %s", i+1, len(segs), phase)
+		var armErr error
+		switch phase {
+		case "checkpoint-disk-full":
+			armErr = reg.Arm("checkpoint.write", faultinject.Arming{Mode: faultinject.ModeDiskFull, Count: 2})
+		case "spool-torn":
+			armErr = reg.Arm("spool.write", faultinject.Arming{Mode: faultinject.ModeTorn, Bytes: 16, Count: 1})
+		case "score-slow":
+			armErr = reg.Arm("shard.score", faultinject.Arming{Mode: faultinject.ModeSlow, Delay: 400 * time.Millisecond, Count: 1})
+		case "score-panic":
+			armErr = reg.Arm("shard.score", faultinject.Arming{Mode: faultinject.ModePanic, Count: 1})
+		case "worker-panic":
+			armErr = reg.Arm("shard.worker", faultinject.Arming{Mode: faultinject.ModePanic, Count: 2})
+		case "clock-skew":
+			armErr = reg.Arm("heartbeat.skew", faultinject.Arming{Mode: faultinject.ModeSkew, Skew: time.Hour, Count: 2})
+		case "shed-learning":
+			lm.SetShedLearning(true, "chaos drill")
+		}
+		if armErr != nil {
+			return nil, armErr
+		}
+		if err := feed(seg); err != nil {
+			return nil, err
+		}
+		switch phase {
+		case "breaker":
+			if err := breakerArc(reg, lm, rep); err != nil {
+				return nil, err
+			}
+		case "clock-skew":
+			reg.Disarm("heartbeat.skew")
+		case "shed-learning":
+			if res := lm.TriggerCycle(false); !res.Skipped || res.SkipReason != "shed-learning" {
+				return nil, fmt.Errorf("chaos: shed-learning did not skip the cycle: %+v", res)
+			}
+			lm.SetShedLearning(false, "chaos drill over")
+		}
+		if err := checkpoint(); err != nil {
+			return nil, err
+		}
+		if err := saveSpool(); err != nil {
+			return nil, err
+		}
+	}
+
+	st := mon.Stats()
+	rep.Messages = st.Messages
+	rep.WorkerRestarts = st.WorkerRestarts
+	rep.WatchdogKicks = st.WatchdogKicks
+	rep.ShardPanics = st.ShardPanics
+	for _, ps := range reg.Snapshot() {
+		if ps.Fired > 0 {
+			rep.FaultsFired[ps.Name] = ps.Fired
+			rep.DistinctFaults++
+		}
+	}
+	rep.BreakerOpens = lm.Status().Breaker.Opens
+
+	chaosCounts := warningCounts(mon)
+	var refTotal, diff int
+	seen := make(map[string]bool)
+	for h, n := range refCounts {
+		refTotal += n
+		rep.RefWarnings += n
+		d := n - chaosCounts[h]
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+		seen[h] = true
+	}
+	for h, n := range chaosCounts {
+		rep.ChaosWarnings += n
+		if !seen[h] {
+			diff += n
+		}
+	}
+	if refTotal > 0 {
+		rep.WarnDivergence = float64(diff) / float64(refTotal)
+	}
+	cfg.logf("chaos: done: %d msgs, %d/%d warnings, divergence %.3f, faults %v",
+		rep.Messages, rep.ChaosWarnings, rep.RefWarnings, rep.WarnDivergence, rep.FaultsFired)
+	return rep, nil
+}
+
+// breakerArc drives the adaptation breaker through open → skip → probe →
+// closed using injected cycle failures.
+func breakerArc(reg *faultinject.Registry, lm *lifecycle.Manager, rep *Report) error {
+	if err := reg.Arm("lifecycle.cycle", faultinject.Arming{Mode: faultinject.ModeError}); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if res := lm.TriggerCycle(false); res.Skipped {
+			return fmt.Errorf("chaos: cycle skipped before breaker opened: %+v", res)
+		}
+	}
+	if st := lm.Status(); st.Breaker.StateName != "open" {
+		return fmt.Errorf("chaos: breaker did not open: %+v", st.Breaker)
+	}
+	if res := lm.TriggerCycle(false); !res.Skipped || res.SkipReason != "breaker-open" {
+		return fmt.Errorf("chaos: open breaker admitted a cycle: %+v", res)
+	}
+	reg.Disarm("lifecycle.cycle")
+	time.Sleep(60 * time.Millisecond) // past the 50ms cooldown
+	if res := lm.TriggerCycle(false); res.Skipped {
+		return fmt.Errorf("chaos: half-open probe skipped: %+v", res)
+	}
+	if st := lm.Status(); st.Breaker.StateName != "closed" {
+		return fmt.Errorf("chaos: breaker did not recover: %+v", st.Breaker)
+	}
+	rep.BreakerRecovered = true
+	return nil
+}
+
+// drain waits until every shard queue is empty and the processed-message
+// counter has been stable for a few polls — the stack has settled. Faults
+// can wedge a worker for hundreds of ms (the slow-injection phase), so the
+// deadline is generous; hitting it means a worker died unsupervised.
+func drain(mon *ingest.Monitor) error {
+	deadline := time.Now().Add(30 * time.Second)
+	stable := 0
+	var last uint64
+	for time.Now().Before(deadline) {
+		msgs, _ := mon.Counters()
+		if mon.QueueFrac() == 0 && msgs == last {
+			stable++
+			if stable >= 3 {
+				return nil
+			}
+		} else {
+			stable = 0
+		}
+		last = msgs
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("chaos: queues never drained: stats %+v", mon.Stats())
+}
+
+// pointFired reads one fault point's injected-failure count.
+func pointFired(reg *faultinject.Registry, name string) uint64 {
+	for _, ps := range reg.Snapshot() {
+		if ps.Name == name {
+			return ps.Fired
+		}
+	}
+	return 0
+}

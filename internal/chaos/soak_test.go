@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"log"
+	"os"
+	"testing"
+)
+
+// TestChaosSoakShort is the CI soak (`make chaos`, race-enabled): one full
+// pass of the fault schedule over the seed scenario, asserting every PR-7
+// acceptance invariant.
+func TestChaosSoakShort(t *testing.T) {
+	rep := runSoak(t, Config{})
+	checkReport(t, rep)
+}
+
+// TestChaosSoakFull is the long soak (`make chaos-full`): several rounds of
+// the schedule. Gated behind CHAOS_SOAK=full so `go test ./...` stays fast.
+func TestChaosSoakFull(t *testing.T) {
+	if os.Getenv("CHAOS_SOAK") != "full" {
+		t.Skip("set CHAOS_SOAK=full to run the full soak")
+	}
+	rep := runSoak(t, Config{Rounds: 4, Hosts: 6, Shards: 8})
+	checkReport(t, rep)
+}
+
+func runSoak(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	cfg.Dir = t.TempDir()
+	if testing.Verbose() {
+		cfg.Log = log.New(os.Stderr, "", log.Ltime)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func checkReport(t *testing.T, rep *Report) {
+	t.Helper()
+	t.Logf("report: %+v", rep)
+	if rep.DistinctFaults < 5 {
+		t.Errorf("distinct fault types injected = %d (%v), want >= 5", rep.DistinctFaults, rep.FaultsFired)
+	}
+	if rep.BreakerOpens < 1 || !rep.BreakerRecovered {
+		t.Errorf("breaker arc incomplete: opens=%d recovered=%v", rep.BreakerOpens, rep.BreakerRecovered)
+	}
+	if rep.CheckpointRetries < 1 {
+		t.Errorf("no checkpoint write ever failed-and-retried (disk-full injection missed)")
+	}
+	if rep.SpoolRetries < 1 {
+		t.Errorf("no spool write ever failed-and-retried (torn injection missed)")
+	}
+	if rep.WorkerRestarts < 1 {
+		t.Errorf("no supervised worker restart observed")
+	}
+	if rep.WatchdogKicks < 1 {
+		t.Errorf("no watchdog kick observed")
+	}
+	if rep.RefWarnings == 0 {
+		t.Fatal("reference run produced no warnings; scenario is broken")
+	}
+	if rep.WarnDivergence > DivergenceBound {
+		t.Errorf("warning divergence %.3f exceeds bound %.2f (ref %d, chaos %d)",
+			rep.WarnDivergence, DivergenceBound, rep.RefWarnings, rep.ChaosWarnings)
+	}
+}
+
+// BenchmarkChaosSoak exports the soak's counters into BENCH_serving.json
+// (via `make bench-json` → cmd/benchjson, which keeps custom units in the
+// "extra" map): injected faults, checkpoint saves, breaker opens, and the
+// warning divergence of the chaos run.
+func BenchmarkChaosSoak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Config{Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var faults uint64
+		for _, n := range rep.FaultsFired {
+			faults += n
+		}
+		b.ReportMetric(float64(faults), "faults_injected")
+		b.ReportMetric(float64(rep.CheckpointSaves), "ckpt_saves")
+		b.ReportMetric(float64(rep.BreakerOpens), "breaker_opens")
+		b.ReportMetric(rep.WarnDivergence, "warn_divergence")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nfvpredict/internal/features"
@@ -86,10 +87,13 @@ type LSTMDetector struct {
 	trainer *nn.BatchTrainer
 	rng     *rand.Rand
 	met     lstmMetrics
-	// precision is the serving-path inference mode (see precision.go). The
-	// float64 master model is authoritative regardless; reduced precisions
-	// pack a read-only serving mirror after every training entry point.
-	precision Precision
+	// precision is the serving-path inference mode (see precision.go),
+	// stored atomically: the lifecycle re-packs serving sets (promotion,
+	// rollback, reload) while in-flight cycles Clone the same detectors.
+	// The float64 master model is authoritative regardless; reduced
+	// precisions pack a read-only serving mirror after every training
+	// entry point.
+	precision atomic.Uint32
 }
 
 // lstmMetrics holds the detector's observability handles. All fields are
@@ -212,7 +216,7 @@ func (d *LSTMDetector) Clone() *LSTMDetector {
 	// The clone inherits the precision setting but no packed engine
 	// (model.Clone never copies one): clones exist to be fine-tuned, and
 	// Update/Adapt re-pack on completion. At f64 this whole path is free.
-	out.precision = d.precision
+	out.precision.Store(d.precision.Load())
 	return out
 }
 

@@ -23,12 +23,12 @@ func ParsePrecision(s string) (Precision, error) { return nn.ParsePrecision(s) }
 // before mutating weights and re-pack when done, so a stale quantized
 // engine can never serve.
 func (d *LSTMDetector) SetPrecision(p Precision) {
-	d.precision = p
+	d.precision.Store(uint32(p))
 	d.repack()
 }
 
 // Precision reports the detector's configured serving precision.
-func (d *LSTMDetector) Precision() Precision { return d.precision }
+func (d *LSTMDetector) Precision() Precision { return Precision(d.precision.Load()) }
 
 // PackedBytes reports the packed-weight footprint of the active quantized
 // engine (0 when serving f64 or untrained).
@@ -47,19 +47,20 @@ func (d *LSTMDetector) repack() {
 	if d.model == nil {
 		return
 	}
-	if d.precision == PrecisionF64 {
+	p := d.Precision()
+	if p == PrecisionF64 {
 		if d.model.Precision() != PrecisionF64 {
 			d.model.InvalidatePacked()
 		}
 		return
 	}
-	d.model.SetPrecision(d.precision)
+	d.model.SetPrecision(p)
 }
 
 // invalidatePacked drops the model's packed engine ahead of an in-place
 // weight mutation.
 func (d *LSTMDetector) invalidatePacked() {
-	if d.model != nil && d.precision != PrecisionF64 {
+	if d.model != nil && d.Precision() != PrecisionF64 {
 		d.model.InvalidatePacked()
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"nfvpredict/internal/atomicfile"
 	"nfvpredict/internal/detect"
+	"nfvpredict/internal/faultinject"
 	"nfvpredict/internal/obs"
 	"nfvpredict/internal/sigtree"
 	"nfvpredict/internal/wireframe"
@@ -180,9 +181,19 @@ func RestoreMonitor(r io.Reader, cfg MonitorConfig, resolve func(host string) *d
 
 // CheckpointFile writes the checkpoint to path atomically (temp file +
 // fsync + rename): a crash mid-checkpoint leaves the previous checkpoint
-// intact, never a torn file.
+// intact, never a torn file. The checkpoint.write fault point (when a
+// fault registry is wired) injects disk-full/torn/slow failures inside
+// the atomic-write window — the write fails, the temp file is discarded,
+// and the previous checkpoint generation survives untouched.
 func (m *Monitor) CheckpointFile(path string) error {
-	return atomicfile.Write(path, m.Checkpoint)
+	var fp *faultinject.Point
+	if m.cfg.Faults != nil {
+		fp = m.cfg.Faults.Point("checkpoint.write",
+			"Inside the atomic checkpoint write: disk-full/torn/slow failures that must never cost the previous generation.")
+	}
+	return atomicfile.Write(path, func(w io.Writer) error {
+		return m.Checkpoint(fp.Writer(w))
+	})
 }
 
 // RestoreMonitorFile restores a monitor from the checkpoint at path.

@@ -8,9 +8,11 @@ import (
 	"time"
 
 	"nfvpredict/internal/detect"
+	"nfvpredict/internal/faultinject"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/logfmt"
 	"nfvpredict/internal/obs"
+	"nfvpredict/internal/resilience"
 	"nfvpredict/internal/sigtree"
 )
 
@@ -50,6 +52,24 @@ type MonitorConfig struct {
 	// batch (batched LSTM inference); 0 means DefaultMaxBatch. Only the
 	// async path batches; HandleMessage always scores synchronously.
 	MaxBatch int
+
+	// Watchdog, when > 0, runs a stuck-worker watchdog beside the async
+	// workers (Start): each worker stamps a heartbeat per loop iteration,
+	// and a shard whose queue has work but whose heartbeat has not moved
+	// for Watchdog is force-restarted — a replacement worker is spawned at
+	// a bumped generation and the wedged one self-retires after its
+	// current batch (goroutines cannot be killed; abandonment is the only
+	// forced restart Go has). Workers are also supervised: a worker that
+	// panics or exits abnormally is restarted with jittered backoff.
+	// 0 disables the watchdog (workers are still supervised).
+	Watchdog time.Duration
+
+	// Faults, when set, registers the monitor's chaos fault points
+	// (shard.score, shard.worker, heartbeat.skew) in this registry so
+	// tests and the /chaos endpoint can inject scoring panics, slow
+	// batches, worker crashes, and skewed watchdog clocks. Nil wires no
+	// fault points (zero overhead beyond a nil check per batch).
+	Faults *faultinject.Registry
 
 	// Precision selects the serving-path inference engine (f64 reference,
 	// packed f32, or row-quantized int8) — see internal/nn's quantized
@@ -140,6 +160,17 @@ type MonitorStats struct {
 	// ShardPanics counts scoring panics recovered by shard workers; the
 	// panicking batch is lost, the shard keeps serving.
 	ShardPanics uint64
+	// WorkerRestarts counts supervised shard-worker restarts (after a
+	// panic or abnormal exit).
+	WorkerRestarts uint64
+	// WatchdogKicks counts stuck workers force-restarted by the watchdog.
+	WatchdogKicks uint64
+	// ShedMessages counts messages that skipped scoring while the monitor
+	// was degraded to shed-scoring mode (templates still learned).
+	ShedMessages uint64
+	// DegradeMode is the current degradation mode ("normal",
+	// "shed-learning", "shed-scoring").
+	DegradeMode string
 	// ActiveHosts is the number of per-host states currently held.
 	ActiveHosts int
 	// Shards is the number of scoring shards.
@@ -201,6 +232,16 @@ type Monitor struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 
+	// degrade holds the current resilience.Mode. Shed-scoring is enforced
+	// in the scoring paths (templates keep learning, scores are skipped);
+	// shed-learning is the lifecycle manager's to enforce.
+	degrade atomic.Int32
+
+	// Chaos fault points; nil (never fired) when cfg.Faults is unset.
+	fpScore  *faultinject.Point
+	fpWorker *faultinject.Point
+	fpSkew   *faultinject.Point
+
 	// Counters live on the registry (cfg.Metrics, or a private one) so the
 	// same numbers appear in Stats(), logs, and /metrics with no double
 	// bookkeeping; Checkpoint/Restore move their values wholesale.
@@ -212,12 +253,17 @@ type Monitor struct {
 	shardPanics *obs.Counter
 	// activeHosts mirrors hostCount for scraping; histograms are nil (and
 	// free) when no registry was attached.
-	activeHosts   *obs.Gauge
-	handleSeconds *obs.Histogram
-	learnSeconds  *obs.Histogram
-	scoreHist     *obs.Histogram
-	ckptSaves     *obs.Counter
-	ckptSeconds   *obs.Histogram
+	activeHosts    *obs.Gauge
+	handleSeconds  *obs.Histogram
+	learnSeconds   *obs.Histogram
+	scoreHist      *obs.Histogram
+	ckptSaves      *obs.Counter
+	ckptSeconds    *obs.Histogram
+	workerRestarts *obs.Counter
+	watchdogKicks  *obs.Counter
+	shedMessages   *obs.Counter
+	degradeGauge   *obs.Gauge
+	hbAgeGauge     *obs.Gauge
 }
 
 // hostState is everything the monitor remembers about one vPE: its scoring
@@ -303,6 +349,19 @@ func NewMonitorWithResolver(cfg MonitorConfig, tree *sigtree.Tree, resolve func(
 	m.shardPanics = reg.Counter("monitor_shard_panics_total", "Scoring panics recovered by shard workers (the batch is lost).")
 	m.activeHosts = reg.Gauge("monitor_active_hosts", "Per-host states currently held.")
 	m.ckptSaves = reg.Counter("monitor_checkpoint_saves_total", "Successful Checkpoint snapshots written.")
+	m.workerRestarts = reg.Counter("monitor_worker_restarts_total", "Supervised shard-worker restarts after a panic or abnormal exit.")
+	m.watchdogKicks = reg.Counter("monitor_watchdog_restarts_total", "Stuck shard workers force-restarted by the watchdog.")
+	m.shedMessages = reg.Counter("monitor_shed_messages_total", "Messages that skipped scoring while degraded to shed-scoring mode.")
+	m.degradeGauge = reg.Gauge("monitor_degrade_mode", "Current degradation mode (0 normal, 1 shed-learning, 2 shed-scoring).")
+	m.hbAgeGauge = reg.Gauge("monitor_worker_heartbeat_age_seconds", "Worst shard-worker heartbeat age observed by the watchdog.")
+	if cfg.Faults != nil {
+		m.fpScore = cfg.Faults.Point("shard.score",
+			"Before a shard worker scores a batch: panic loses the batch, slow wedges the worker (watchdog food).")
+		m.fpWorker = cfg.Faults.Point("shard.worker",
+			"In the shard worker loop before dequeue: panic/error crashes the worker with no message loss (supervisor food).")
+		m.fpSkew = cfg.Faults.Point("heartbeat.skew",
+			"Skews the watchdog's clock so healthy heartbeats read stale.")
+	}
 	if cfg.Metrics != nil {
 		m.ckptSeconds = reg.Histogram("monitor_checkpoint_seconds",
 			"Checkpoint snapshot+encode latency.", obs.DurationBuckets())
@@ -420,7 +479,8 @@ func (m *Monitor) Enqueue(msg logfmt.Message) bool {
 	}
 }
 
-// Start launches one worker per shard to drain the async queues. It is
+// Start launches one supervised worker per shard to drain the async
+// queues, plus (when cfg.Watchdog > 0) the stuck-worker watchdog. It is
 // idempotent while running.
 func (m *Monitor) Start() {
 	m.lifeMu.Lock()
@@ -431,8 +491,82 @@ func (m *Monitor) Start() {
 	m.running = true
 	m.stop = make(chan struct{})
 	for _, sh := range m.shards {
+		m.spawnWorker(sh, m.stop)
+	}
+	if m.cfg.Watchdog > 0 {
 		m.wg.Add(1)
-		go sh.run(m.stop)
+		go m.watchdog(m.stop)
+	}
+}
+
+// spawnWorker launches a supervised worker for sh at its current
+// generation: the worker is restarted with jittered backoff after a panic
+// or abnormal exit, and retires cleanly when stop closes or a watchdog
+// replacement supersedes its generation. The heartbeat is stamped
+// synchronously so consecutive watchdog ticks cannot double-kick a shard
+// whose replacement has not been scheduled yet.
+func (m *Monitor) spawnWorker(sh *shard, stop <-chan struct{}) {
+	gen := sh.gen.Load()
+	sh.hb.Beat()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		restart := resilience.NewBackoff(time.Millisecond, time.Second, 0.5, 0)
+		for {
+			if !sh.runOnce(stop, gen) {
+				return
+			}
+			m.workerRestarts.Inc()
+			t := time.NewTimer(restart.Next())
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				// Run one last incarnation to drain the queue on shutdown.
+				sh.runOnce(stop, gen)
+				return
+			}
+			t.Stop()
+		}
+	}()
+}
+
+// watchdog force-restarts wedged shard workers: a shard with queued work
+// whose heartbeat has not advanced between two consecutive ticks and is
+// older than cfg.Watchdog gets a replacement worker at a bumped
+// generation. The wedged worker cannot be killed (Go has no goroutine
+// kill); it self-retires at its next loop turn, after the batch it is
+// stuck on either completes or panics. The heartbeat.skew fault point
+// shifts the watchdog's clock to test exactly this machinery.
+func (m *Monitor) watchdog(stop <-chan struct{}) {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.cfg.Watchdog / 2)
+	defer tick.Stop()
+	lastBeat := make([]int64, len(m.shards))
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			now := time.Now().Add(m.fpSkew.Skew())
+			var worst time.Duration
+			for i, sh := range m.shards {
+				beat := sh.hb.Load()
+				age := sh.hb.Age(now)
+				if age > worst && beat != 0 {
+					worst = age
+				}
+				stalled := beat == lastBeat[i]
+				lastBeat[i] = beat
+				if len(sh.queue) == 0 || !stalled || age <= m.cfg.Watchdog {
+					continue
+				}
+				sh.gen.Add(1)
+				m.watchdogKicks.Inc()
+				m.spawnWorker(sh, stop)
+			}
+			m.hbAgeGauge.Set(worst.Seconds())
+		}
 	}
 }
 
@@ -557,13 +691,46 @@ func (m *Monitor) Threshold() float64 {
 // same registry counters exported at /metrics.
 func (m *Monitor) Stats() MonitorStats {
 	return MonitorStats{
-		Messages:     m.messages.Value(),
-		Anomalies:    m.anoms.Value(),
-		Warnings:     m.warningsC.Value(),
-		EvictedHosts: m.evicted.Value(),
-		ModelSwaps:   m.swaps.Value(),
-		ShardPanics:  m.shardPanics.Value(),
-		ActiveHosts:  int(m.hostCount.Load()),
-		Shards:       len(m.shards),
+		Messages:       m.messages.Value(),
+		Anomalies:      m.anoms.Value(),
+		Warnings:       m.warningsC.Value(),
+		EvictedHosts:   m.evicted.Value(),
+		ModelSwaps:     m.swaps.Value(),
+		ShardPanics:    m.shardPanics.Value(),
+		WorkerRestarts: m.workerRestarts.Value(),
+		WatchdogKicks:  m.watchdogKicks.Value(),
+		ShedMessages:   m.shedMessages.Value(),
+		DegradeMode:    m.DegradeMode().String(),
+		ActiveHosts:    int(m.hostCount.Load()),
+		Shards:         len(m.shards),
 	}
+}
+
+// SetDegrade switches the monitor's degradation mode. ModeShedScoring is
+// enforced here (messages keep learning templates but skip scoring, so the
+// signature tree stays warm for recovery while a faulting scoring path is
+// bypassed); ModeShedLearning is informational to the monitor — the
+// lifecycle manager is the component that pauses on it.
+func (m *Monitor) SetDegrade(mode resilience.Mode) {
+	m.degrade.Store(int32(mode))
+	m.degradeGauge.SetInt(int(mode))
+}
+
+// DegradeMode returns the current degradation mode.
+func (m *Monitor) DegradeMode() resilience.Mode {
+	return resilience.Mode(m.degrade.Load())
+}
+
+// QueueFrac returns the worst shard queue's fill fraction [0,1] — the
+// overload signal the degradation controller samples.
+func (m *Monitor) QueueFrac() float64 {
+	worst := 0.0
+	for _, sh := range m.shards {
+		if c := cap(sh.queue); c > 0 {
+			if f := float64(len(sh.queue)) / float64(c); f > worst {
+				worst = f
+			}
+		}
+	}
+	return worst
 }

@@ -19,6 +19,7 @@ import (
 
 	"nfvpredict/internal/logfmt"
 	"nfvpredict/internal/obs"
+	"nfvpredict/internal/resilience"
 )
 
 // ServerConfig configures the listeners.
@@ -342,32 +343,30 @@ func (s *Server) deliver(m logfmt.Message) {
 	s.sink(m)
 }
 
-// backoff sleeps with exponential growth between transient listener errors
-// (e.g. EMFILE on accept), so a persistent error condition costs retries
-// per second instead of a hot spin. It returns the next delay; callers
-// reset to zero after a success. Sleeping is interrupted by Close.
-func (s *Server) backoff(d time.Duration) time.Duration {
-	if d <= 0 {
-		d = time.Millisecond
-	}
-	t := time.NewTimer(d)
+// listenerBackoff builds the retry pacing for one listener goroutine:
+// exponential 1ms→1s with +50% jitter, clock-seeded so a fleet of monitors
+// that all saw the same transient error (e.g. EMFILE on accept) de-
+// synchronizes instead of retrying in lockstep. Callers Reset after a
+// success.
+func listenerBackoff() *resilience.Backoff {
+	return resilience.NewBackoff(time.Millisecond, time.Second, 0.5, 0)
+}
+
+// backoffSleep sleeps the backoff's next delay, interrupted by Close.
+func (s *Server) backoffSleep(b *resilience.Backoff) {
+	t := time.NewTimer(b.Next())
 	defer t.Stop()
 	select {
 	case <-t.C:
 	case <-s.closed:
 	}
-	d *= 2
-	if d > time.Second {
-		d = time.Second
-	}
-	return d
 }
 
 // readUDP treats each datagram as one syslog message.
 func (s *Server) readUDP() {
 	defer s.wg.Done()
 	buf := make([]byte, 64*1024)
-	var delay time.Duration
+	retry := listenerBackoff()
 	for {
 		n, _, err := s.udp.ReadFromUDP(buf)
 		if err != nil {
@@ -379,10 +378,10 @@ func (s *Server) readUDP() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
-			delay = s.backoff(delay)
+			s.backoffSleep(retry)
 			continue
 		}
-		delay = 0
+		retry.Reset()
 		s.enqueue(buf[:n])
 	}
 }
@@ -390,7 +389,7 @@ func (s *Server) readUDP() {
 // acceptTCP serves each connection with RFC 6587 framing.
 func (s *Server) acceptTCP() {
 	defer s.wg.Done()
-	var delay time.Duration
+	retry := listenerBackoff()
 	for {
 		conn, err := s.tcp.Accept()
 		if err != nil {
@@ -402,10 +401,10 @@ func (s *Server) acceptTCP() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
-			delay = s.backoff(delay)
+			s.backoffSleep(retry)
 			continue
 		}
-		delay = 0
+		retry.Reset()
 		if !s.trackConn(conn) {
 			conn.Close()
 			return

@@ -3,12 +3,14 @@ package ingest
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nfvpredict/internal/detect"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/logfmt"
 	"nfvpredict/internal/obs"
+	"nfvpredict/internal/resilience"
 	"nfvpredict/internal/sigtree"
 )
 
@@ -33,6 +35,13 @@ type shard struct {
 	// depth mirrors len(queue) for scraping; nil when unmetered.
 	depth *obs.Gauge
 
+	// hb is the worker's liveness stamp, beaten once per loop turn; the
+	// watchdog reads it. gen is the worker generation: the watchdog bumps
+	// it when abandoning a wedged worker, and a worker whose generation no
+	// longer matches self-retires at its next loop turn.
+	hb  resilience.Heartbeat
+	gen atomic.Uint64
+
 	mu sync.Mutex
 	// resolve/clusterOf/threshold are the swappable serving parameters.
 	// SwapModel/SetClusterOf update them on every shard under lockAll, so a
@@ -45,14 +54,18 @@ type shard struct {
 	hosts     map[string]*list.Element
 	lru       *list.List // of *hostState; front = most recently seen
 
-	// waveGen stamps hostState.mark during batch wave scheduling.
+	// waveGen stamps hostState.mark during batch wave scheduling. Guarded
+	// by mu (only touched inside processBatchLocked).
 	waveGen uint64
-	batch   batchBuf
 }
 
-// batchBuf is the per-shard scratch for batched scoring. All slices grow to
-// the configured MaxBatch once and are reused; after warm-up a batch
-// allocates only when the signature tree grows a new template.
+// batchBuf is one worker incarnation's scratch for batched scoring. It is
+// owned by the worker, not the shard: a watchdog replacement can briefly
+// overlap the wedged worker it supersedes, and the queue-drain phase of
+// consume runs outside the shard mutex, so shared scratch would race. All
+// slices grow to the configured MaxBatch once and are reused; after
+// warm-up a batch allocates only when the signature tree grows a new
+// template.
 type batchBuf struct {
 	msgs    []logfmt.Message
 	toks    [][]string
@@ -76,6 +89,12 @@ func (sh *shard) handleLocked(msg logfmt.Message) {
 	tpl := m.tree.LearnTokens(toks)
 	m.treeMu.Unlock()
 	m.learnSeconds.ObserveDuration(t0)
+	if m.DegradeMode() == resilience.ModeShedScoring {
+		// Shed-scoring: the template was learned (the tree stays warm for
+		// recovery), the faulting scoring path is bypassed.
+		m.shedMessages.Inc()
+		return
+	}
 	hs := sh.hostFor(msg.Host)
 	if hs == nil {
 		return // no model for this host yet
@@ -205,22 +224,42 @@ func (sh *shard) observeAnomaly(hs *hostState, at time.Time) (size int, warned b
 	return cs.size, false
 }
 
-// run is the shard worker: it drains the queue into batches until stop,
-// then drains what is left and exits. The stop channel is captured at start
-// so a Stop/Start cycle cannot race a worker onto a stale channel.
-func (sh *shard) run(stop <-chan struct{}) {
-	defer sh.m.wg.Done()
+// runOnce is one incarnation of the shard worker: it drains the queue into
+// batches until stop (then drains what is left), the shard's generation
+// moves past gen (a watchdog replacement took over), or a panic escapes —
+// in which case it reports abnormal=true and the supervisor loop in
+// Monitor.spawnWorker restarts it with backoff. The stop channel is
+// captured at start so a Stop/Start cycle cannot race a worker onto a
+// stale channel. An escaped panic here (the shard.worker/shard.score fault
+// points, or a bug the per-batch recover in consume cannot see) counts
+// into shardPanics: it is a scoring-path fault either way, and the
+// degradation controller keys off that counter.
+func (sh *shard) runOnce(stop <-chan struct{}, gen uint64) (abnormal bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.m.shardPanics.Inc()
+			abnormal = true
+		}
+	}()
+	var b batchBuf // worker-owned scratch; see batchBuf
 	for {
+		if sh.gen.Load() != gen {
+			return false // superseded by a watchdog replacement
+		}
+		sh.hb.Beat()
+		if err := sh.m.fpWorker.Fire(); err != nil {
+			return true // injected worker crash; no message was dequeued
+		}
 		select {
 		case msg := <-sh.queue:
-			sh.consume(msg)
+			sh.consume(&b, msg)
 		case <-stop:
 			for {
 				select {
 				case msg := <-sh.queue:
-					sh.consume(msg)
+					sh.consume(&b, msg)
 				default:
-					return
+					return false
 				}
 			}
 		}
@@ -231,8 +270,7 @@ func (sh *shard) run(stop <-chan struct{}) {
 // scores them as one batch. A panic while scoring (a poisoned message, a
 // bug in a hot-swapped model) loses that batch, is counted, and leaves the
 // worker — and the other shards — running.
-func (sh *shard) consume(first logfmt.Message) {
-	b := &sh.batch
+func (sh *shard) consume(b *batchBuf, first logfmt.Message) {
 	b.msgs = append(b.msgs[:0], first)
 drain:
 	for len(b.msgs) < sh.m.cfg.MaxBatch {
@@ -246,6 +284,14 @@ drain:
 	if sh.depth != nil {
 		sh.depth.SetInt(len(sh.queue))
 	}
+	// The shard.score fault point fires before the lock on purpose: its
+	// slow mode must wedge this worker *outside* the shard mutex, so the
+	// watchdog's replacement worker can make progress instead of queueing
+	// behind the stuck one. Its panic mode escapes to runOnce's recover.
+	if err := sh.m.fpScore.Fire(); err != nil {
+		sh.m.shardPanics.Inc() // injected scoring fault; the batch is lost
+		return
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	defer func() {
@@ -253,7 +299,7 @@ drain:
 			sh.m.shardPanics.Inc()
 		}
 	}()
-	sh.processBatchLocked(b.msgs)
+	sh.processBatchLocked(b)
 }
 
 // processBatchLocked scores a batch of same-shard messages. Three phases:
@@ -269,10 +315,10 @@ drain:
 //     Per-lane arithmetic is bit-identical to the sequential path.
 //
 // Caller holds sh.mu.
-func (sh *shard) processBatchLocked(msgs []logfmt.Message) {
+func (sh *shard) processBatchLocked(b *batchBuf) {
 	m := sh.m
+	msgs := b.msgs
 	B := len(msgs)
-	b := &sh.batch
 	b.toks = growToks(b.toks, B)
 	b.tpls = growInts(b.tpls, B)
 	b.hss = growHosts(b.hss, B)
@@ -288,6 +334,10 @@ func (sh *shard) processBatchLocked(msgs []logfmt.Message) {
 	m.treeMu.Unlock()
 	m.learnSeconds.ObserveDuration(t0)
 	m.messages.Add(uint64(B))
+	if m.DegradeMode() == resilience.ModeShedScoring {
+		m.shedMessages.Add(uint64(B))
+		return
+	}
 
 	left := 0
 	for i := range msgs {

@@ -1,0 +1,179 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+
+	"nfvpredict/internal/faultinject"
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/resilience"
+)
+
+// superviseMonitor builds an async monitor wired to a private fault
+// registry, trained on the shared corpus.
+func superviseMonitor(t *testing.T, shards int, watchdog time.Duration) (*Monitor, *faultinject.Registry) {
+	t.Helper()
+	tree, det := trainMonitorDetector(t)
+	reg := faultinject.NewRegistry()
+	cfg := DefaultMonitorConfig()
+	cfg.Threshold = 4
+	cfg.Shards = shards
+	cfg.Watchdog = watchdog
+	cfg.Faults = reg
+	return NewMonitor(cfg, tree, det, nil), reg
+}
+
+func superviseMsg(host, text string, at time.Time) logfmt.Message {
+	return logfmt.Message{Time: at, Host: host, Facility: logfmt.FacDaemon, Severity: logfmt.Info, Tag: "rpd", Text: text}
+}
+
+// feedUntil enqueues messages (retrying full queues) until cond holds or
+// the deadline lapses.
+func feedUntil(t *testing.T, mon *Monitor, cond func() bool, deadline time.Duration) {
+	t.Helper()
+	base := time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+	texts := []string{
+		"bgp keepalive exchanged with peer 10.0.0.1 hold 90",
+		"interface statistics poll completed for ge-0/0/1 in 12 ms",
+	}
+	limit := time.After(deadline)
+	for i := 0; ; i++ {
+		if cond() {
+			return
+		}
+		select {
+		case <-limit:
+			t.Fatalf("condition not reached; stats %+v", mon.Stats())
+		default:
+		}
+		msg := superviseMsg("vpe01", texts[i%len(texts)], base.Add(time.Duration(i)*10*time.Second))
+		if !mon.Enqueue(msg) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestSupervisedWorkerRecoversFromPanic injects a worker-loop panic and a
+// scoring panic and checks the workers restart and keep scoring — the
+// monitor never stops consuming.
+func TestSupervisedWorkerRecoversFromPanic(t *testing.T) {
+	mon, faults := superviseMonitor(t, 1, 0)
+	mon.Start()
+	defer mon.Stop()
+
+	// Two worker-loop panics (before dequeue: no message loss), then clean.
+	if err := faults.Arm("shard.worker", faultinject.Arming{Mode: faultinject.ModePanic, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	feedUntil(t, mon, func() bool { return mon.Stats().WorkerRestarts >= 2 }, 10*time.Second)
+
+	// A scoring panic after dequeue: the batch is lost but counted, and
+	// processing continues.
+	before := mon.Stats().Messages
+	if err := faults.Arm("shard.score", faultinject.Arming{Mode: faultinject.ModePanic, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	feedUntil(t, mon, func() bool {
+		st := mon.Stats()
+		return st.ShardPanics >= 1 && st.Messages > before
+	}, 10*time.Second)
+	if st := mon.Stats(); st.WorkerRestarts < 3 {
+		t.Fatalf("scoring panic did not restart the worker: %+v", st)
+	}
+}
+
+// TestWatchdogKicksStuckWorker wedges a worker with an injected slow batch
+// and checks the watchdog abandons it: a replacement worker drains the
+// queue while the stuck one is still sleeping.
+func TestWatchdogKicksStuckWorker(t *testing.T) {
+	mon, faults := superviseMonitor(t, 1, 50*time.Millisecond)
+	mon.Start()
+	defer mon.Stop()
+
+	// First batch wedges for 2s — far past the 50ms watchdog deadline.
+	if err := faults.Arm("shard.score", faultinject.Arming{Mode: faultinject.ModeSlow, Delay: 2 * time.Second, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	feedUntil(t, mon, func() bool {
+		st := mon.Stats()
+		return st.WatchdogKicks >= 1 && st.Messages >= 4
+	}, 10*time.Second)
+}
+
+// TestWatchdogClockSkewFault injects a skewed watchdog clock and checks a
+// healthy-but-idle-looking worker is kicked — the chaos drill for the
+// watchdog machinery itself — and that the kick is harmless.
+func TestWatchdogClockSkewFault(t *testing.T) {
+	mon, faults := superviseMonitor(t, 1, 50*time.Millisecond)
+	mon.Start()
+	defer mon.Stop()
+	if err := faults.Arm("heartbeat.skew", faultinject.Arming{Mode: faultinject.ModeSkew, Skew: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	// Keep the queue non-empty so the skewed age check applies.
+	feedUntil(t, mon, func() bool { return mon.Stats().WatchdogKicks >= 1 }, 10*time.Second)
+	faults.Disarm("heartbeat.skew")
+	// The monitor still consumes after the spurious kick.
+	before := mon.Stats().Messages
+	feedUntil(t, mon, func() bool { return mon.Stats().Messages > before+8 }, 10*time.Second)
+}
+
+// TestShedScoringMode pins the shed-scoring contract: messages are counted
+// and templates learned, but nothing is scored until the mode lifts.
+func TestShedScoringMode(t *testing.T) {
+	tree, det := trainMonitorDetector(t)
+	cfg := DefaultMonitorConfig()
+	cfg.Threshold = 4
+	mon := NewMonitor(cfg, tree, det, nil)
+
+	base := time.Date(2018, 5, 2, 0, 0, 0, 0, time.UTC)
+	mon.SetDegrade(resilience.ModeShedScoring)
+	if got := mon.DegradeMode(); got != resilience.ModeShedScoring {
+		t.Fatalf("mode = %v", got)
+	}
+	tplsBefore := tree.Len()
+	for i := 0; i < 8; i++ {
+		mon.HandleMessage(superviseMsg("vpe09", "never seen template while shedding scores", base.Add(time.Duration(i)*time.Second)))
+	}
+	st := mon.Stats()
+	if st.Messages != 8 || st.ShedMessages != 8 {
+		t.Fatalf("shed accounting: %+v", st)
+	}
+	if st.Anomalies != 0 {
+		t.Fatalf("scored while shedding: %+v", st)
+	}
+	if mon.hasHost("vpe09") {
+		t.Fatal("host state created while shedding scoring")
+	}
+	if tree.Len() <= tplsBefore {
+		t.Fatal("template learning stopped while shedding scoring")
+	}
+
+	// Lifting the mode resumes scoring.
+	mon.SetDegrade(resilience.ModeNormal)
+	mon.HandleMessage(superviseMsg("vpe09", "bgp keepalive exchanged with peer 10.0.0.3 hold 90", base.Add(time.Minute)))
+	if !mon.hasHost("vpe09") {
+		t.Fatal("scoring did not resume after shed mode lifted")
+	}
+	if st := mon.Stats(); st.DegradeMode != "normal" {
+		t.Fatalf("stats mode = %q", st.DegradeMode)
+	}
+}
+
+// TestQueueFrac pins the overload signal the degradation controller reads.
+func TestQueueFrac(t *testing.T) {
+	tree, det := trainMonitorDetector(t)
+	cfg := DefaultMonitorConfig()
+	cfg.ShardQueue = 4
+	mon := NewMonitor(cfg, tree, det, nil)
+	if f := mon.QueueFrac(); f != 0 {
+		t.Fatalf("empty queue frac = %v", f)
+	}
+	base := time.Date(2018, 5, 3, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		mon.Enqueue(superviseMsg("vpe01", "x", base))
+	}
+	if f := mon.QueueFrac(); f != 0.75 {
+		t.Fatalf("queue frac = %v, want 0.75", f)
+	}
+}

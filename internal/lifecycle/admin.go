@@ -3,6 +3,8 @@ package lifecycle
 import (
 	"encoding/json"
 	"net/http"
+
+	"nfvpredict/internal/resilience"
 )
 
 // modelsView is the GET /models response.
@@ -14,6 +16,11 @@ type modelsView struct {
 	CanRollback bool          `json:"can_rollback"`
 	Generations []Generation  `json:"generations"`
 	Spool       []int         `json:"spool_windows"`
+	// Breaker is the adaptation circuit breaker: while open, timer cycles
+	// are skipped (POST /models/adapt still forces one — the operator probe).
+	Breaker resilience.BreakerStatus `json:"breaker"`
+	// ShedLearning reports the degradation controller's learning-shed state.
+	ShedLearning bool `json:"shed_learning"`
 }
 
 type clusterView struct {
@@ -53,6 +60,8 @@ func (m *Manager) Handler() http.Handler {
 			view.Pending = append(view.Pending, ci)
 		}
 		m.mu.Unlock()
+		view.Breaker = m.breaker.Status()
+		view.ShedLearning = m.shedLearning.Load()
 		sortInts(view.Pending)
 		ss := m.spools.Load()
 		for _, cs := range ss.clusters {

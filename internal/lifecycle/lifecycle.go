@@ -17,6 +17,7 @@ package lifecycle
 
 import (
 	"errors"
+	"fmt"
 	"log"
 	"math"
 	"strconv"
@@ -27,9 +28,11 @@ import (
 	"nfvpredict/internal/bundle"
 	"nfvpredict/internal/cluster"
 	"nfvpredict/internal/detect"
+	"nfvpredict/internal/faultinject"
 	"nfvpredict/internal/features"
 	"nfvpredict/internal/ingest"
 	"nfvpredict/internal/obs"
+	"nfvpredict/internal/resilience"
 )
 
 // Config parameterizes a lifecycle Manager.
@@ -71,6 +74,19 @@ type Config struct {
 	// false, candidates that pass are retained as pending and promoted
 	// only via ForcePromote (the POST /models/promote endpoint).
 	AutoPromote bool
+	// BreakerThreshold is how many consecutive failed cycles (panic,
+	// injected fault, or a cluster adaptation error) open the adaptation
+	// circuit breaker; while open, timer cycles are skipped until the
+	// cooldown admits a half-open probe. Forced cycles (TriggerCycle(true),
+	// POST /models/adapt) bypass the breaker — they are the operator's
+	// probe. Default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before probing
+	// again. Default 1 minute.
+	BreakerCooldown time.Duration
+	// Faults, when set, registers the lifecycle's chaos fault points
+	// (lifecycle.cycle, spool.write, spool.read) in this registry.
+	Faults *faultinject.Registry
 	// Metrics, when set, receives the lifecycle_* instrument family and
 	// the candidate detectors' candidate_lstm_* training metrics.
 	Metrics *obs.Registry
@@ -121,6 +137,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GateBudget < 0 {
 		c.GateBudget = d.GateBudget
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Minute
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -243,6 +265,13 @@ type CycleResult struct {
 	Forced   bool
 	Aborted  bool // serving set changed mid-cycle; candidates discarded
 	Promoted bool
+	// Skipped reports a cycle that never ran its body — learning shed or
+	// breaker open; SkipReason says which.
+	Skipped    bool
+	SkipReason string
+	// Panicked reports a cycle whose body panicked (recovered; counts as a
+	// breaker failure).
+	Panicked bool
 	Clusters []ClusterCycle
 }
 
@@ -275,6 +304,19 @@ type Manager struct {
 	// cycleMu serializes cycles (timer ticks, TriggerCycle, admin).
 	cycleMu sync.Mutex
 
+	// breaker circuit-breaks the adaptation cycle: consecutive failed
+	// cycles open it, timer cycles are then skipped for the cooldown, one
+	// probe runs half-open. shedLearning pauses spooling and timer cycles
+	// wholesale (the degradation controller's lever under overload or
+	// durable-I/O pressure).
+	breaker      *resilience.Breaker
+	shedLearning atomic.Bool
+
+	// Chaos fault points; nil (never firing) without cfg.Faults.
+	fpCycle  *faultinject.Point
+	fpSpoolW *faultinject.Point
+	fpSpoolR *faultinject.Point
+
 	lifeMu  sync.Mutex
 	running bool
 	stopCh  chan struct{}
@@ -287,6 +329,11 @@ type Manager struct {
 	rollbacksC   *obs.Counter
 	driftC       *obs.Counter
 	quarC        *obs.Counter
+	skippedC     *obs.Counter
+	panicsC      *obs.Counter
+	breakerOpens *obs.Counter
+	spoolQuarC   *obs.Counter
+	breakerGauge *obs.Gauge
 	adaptSeconds *obs.Histogram
 	gateDelta    *obs.Histogram
 	genGauge     *obs.Gauge
@@ -323,6 +370,20 @@ func New(cfg Config, ms *ModelSet) *Manager {
 	m.gateDelta = s.Histogram("gate_delta", "Candidate minus stale false-alarm rate at the gate (negative = candidate better).",
 		obs.LinearBuckets(-0.5, 0.05, 21))
 	m.genGauge = s.Gauge("generation", "Monotonic serving-model generation number.")
+	m.skippedC = s.Counter("cycles_skipped_total", "Cycles skipped because learning was shed or the breaker was open.")
+	m.panicsC = s.Counter("cycle_panics_total", "Adaptation cycles that panicked (recovered; breaker failure).")
+	m.breakerOpens = s.Counter("breaker_opens_total", "Times the adaptation circuit breaker opened.")
+	m.spoolQuarC = s.Counter("spool_quarantines_total", "Corrupt spool files quarantined at restore (cold start taken instead).")
+	m.breakerGauge = s.Gauge("breaker_state", "Adaptation breaker state (0 closed, 1 open, 2 half-open).")
+	m.breaker = &resilience.Breaker{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}
+	if cfg.Faults != nil {
+		m.fpCycle = cfg.Faults.Point("lifecycle.cycle",
+			"At the top of an adaptation cycle: error/panic failures feed the circuit breaker.")
+		m.fpSpoolW = cfg.Faults.Point("spool.write",
+			"Inside the atomic spool write: disk-full/torn failures that must never cost the previous spool.")
+		m.fpSpoolR = cfg.Faults.Point("spool.read",
+			"Before a spool restore: error/slow failures drill the retry-or-cold-start path.")
+	}
 	m.buildClusterInstruments(len(ms.Detectors))
 	m.spools.Store(newSpoolSet(len(ms.Detectors), cfg.WindowLen, cfg.SpoolPerCluster))
 	return m
@@ -359,6 +420,9 @@ func (m *Manager) Attach(mon *ingest.Monitor) {
 // host's shard lock: O(1), spool-local, and it must never call back into
 // the Monitor or take m.mu.
 func (m *Manager) Observe(host string, ci int, ev features.Event, score float64, anomalous, burst bool) {
+	if m.shedLearning.Load() {
+		return
+	}
 	ss := m.spools.Load()
 	if ss == nil || len(ss.clusters) == 0 {
 		return
@@ -423,16 +487,63 @@ func (m *Manager) TriggerCycle(force bool) CycleResult {
 func (m *Manager) runCycle(force bool) CycleResult {
 	m.cycleMu.Lock()
 	defer m.cycleMu.Unlock()
+
+	// Degradation and breaker gates. Forced cycles bypass both: an
+	// operator's TriggerCycle(true) is itself the breaker probe.
+	if !force {
+		if m.shedLearning.Load() {
+			m.skippedC.Inc()
+			return CycleResult{Time: m.cfg.Clock(), Skipped: true, SkipReason: "shed-learning"}
+		}
+		if !m.breaker.Allow() {
+			m.skippedC.Inc()
+			m.breakerGauge.SetInt(int(m.breaker.State()))
+			return CycleResult{Time: m.cfg.Clock(), Skipped: true, SkipReason: "breaker-open"}
+		}
+	}
 	m.cyclesC.Inc()
+	res, err := m.cycleBody(force)
+	if err != nil {
+		m.breaker.Failure()
+		m.logf("lifecycle: cycle failed: %v", err)
+	} else {
+		m.breaker.Success()
+	}
+	st := m.breaker.Status()
+	m.breakerGauge.SetInt(int(st.State))
+	m.breakerOpens.Store(st.Opens)
+	return res
+}
+
+// cycleBody is one adaptation cycle. It returns a non-nil error — a
+// breaker failure — when the cycle panicked (recovered here), the
+// lifecycle.cycle fault point fired, or any cluster's fine-tune errored.
+// Caller holds cycleMu.
+func (m *Manager) cycleBody(force bool) (res CycleResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panicsC.Inc()
+			res.Panicked = true
+			err = fmt.Errorf("lifecycle: cycle panic (recovered): %v", r)
+		}
+	}()
+	if ferr := m.fpCycle.Fire(); ferr != nil {
+		res.Time = m.cfg.Clock()
+		res.Forced = force
+		return res, fmt.Errorf("lifecycle: cycle: %w", ferr)
+	}
 
 	m.mu.Lock()
 	serving := m.serving
 	cycle := m.cycleNum
 	m.cycleNum++
 	refs := append([]cluster.Histogram(nil), m.refs...)
+	// Snapshot the per-cluster gauge slices: SetServing (hot reload) rebuilds
+	// them under mu while this loop runs outside it.
+	spoolGauges, driftGauges := m.spoolGauges, m.driftGauges
 	m.mu.Unlock()
 
-	res := CycleResult{Time: m.cfg.Clock(), Forced: force}
+	res = CycleResult{Time: m.cfg.Clock(), Forced: force}
 	ss := m.spools.Load()
 	scheduled := m.cfg.AdaptEveryCycles > 0 && cycle > 0 && cycle%m.cfg.AdaptEveryCycles == 0
 
@@ -448,8 +559,8 @@ func (m *Manager) runCycle(force bool) CycleResult {
 	for ci, cs := range ss.clusters {
 		clean, quar, hist := cs.snapshot(true)
 		quarSum += cs.quarantinedTotal()
-		if ci < len(m.spoolGauges) {
-			m.spoolGauges[ci].SetInt(len(clean))
+		if ci < len(spoolGauges) {
+			spoolGauges[ci].SetInt(len(clean))
 		}
 		cc := ClusterCycle{Cluster: ci, Windows: len(clean), Quarantined: len(quar), DriftCos: math.NaN()}
 		var ref cluster.Histogram
@@ -472,8 +583,8 @@ func (m *Manager) runCycle(force bool) CycleResult {
 			cc.DriftCos = cluster.Cosine(hist, ref)
 			cc.Drifted = cc.DriftCos < m.cfg.DriftThreshold
 			cc.Disruptive = cc.DriftCos < m.cfg.DisruptiveThreshold
-			if ci < len(m.driftGauges) {
-				m.driftGauges[ci].Set(cc.DriftCos)
+			if ci < len(driftGauges) {
+				driftGauges[ci].Set(cc.DriftCos)
 			}
 			if cc.Drifted {
 				m.driftC.Inc()
@@ -542,7 +653,7 @@ func (m *Manager) runCycle(force bool) CycleResult {
 		for _, o := range outs {
 			res.Clusters = append(res.Clusters, o.cc)
 		}
-		return res
+		return res, nil
 	}
 	reason := "drift"
 	if scheduled {
@@ -599,7 +710,12 @@ func (m *Manager) runCycle(force bool) CycleResult {
 		m.promoteLocked(next, reason)
 		res.Promoted = true
 	}
-	return res
+	for _, cc := range res.Clusters {
+		if cc.Err != nil {
+			return res, fmt.Errorf("lifecycle: cluster %d %s: %w", cc.Cluster, cc.Mode, cc.Err)
+		}
+	}
+	return res, nil
 }
 
 // applyPrecisionLocked re-packs every detector of an incoming serving set
@@ -717,6 +833,27 @@ func (m *Manager) SetServing(ms *ModelSet) {
 	m.spools.Store(newSpoolSet(len(ms.Detectors), m.cfg.WindowLen, m.cfg.SpoolPerCluster))
 }
 
+// BreakerStatus reports the adaptation circuit breaker's state.
+func (m *Manager) BreakerStatus() resilience.BreakerStatus {
+	return m.breaker.Status()
+}
+
+// SetShedLearning toggles shed-learning mode: spooling stops (Observe
+// returns immediately) and timer cycles are skipped. The degradation
+// controller's lever — scoring continues untouched.
+func (m *Manager) SetShedLearning(v bool, reason string) {
+	if m.shedLearning.Swap(v) != v {
+		if v {
+			m.logf("lifecycle: shedding learning (%s)", reason)
+		} else {
+			m.logf("lifecycle: learning resumed (%s)", reason)
+		}
+	}
+}
+
+// ShedLearning reports whether learning is currently shed.
+func (m *Manager) ShedLearning() bool { return m.shedLearning.Load() }
+
 // Serving returns the current serving set (treat as read-only).
 func (m *Manager) Serving() *ModelSet {
 	m.mu.Lock()
@@ -757,20 +894,24 @@ func (m *Manager) recordLocked(g Generation) {
 
 // Status is the lifecycle summary surfaced on /statusz.
 type Status struct {
-	Generation   int   `json:"generation"`
-	Cycles       int   `json:"cycles"`
-	Pending      []int `json:"pending_clusters"`
-	SpoolWindows []int `json:"spool_windows"`
-	CanRollback  bool  `json:"can_rollback"`
+	Generation   int                      `json:"generation"`
+	Cycles       int                      `json:"cycles"`
+	Pending      []int                    `json:"pending_clusters"`
+	SpoolWindows []int                    `json:"spool_windows"`
+	CanRollback  bool                     `json:"can_rollback"`
+	Breaker      resilience.BreakerStatus `json:"breaker"`
+	ShedLearning bool                     `json:"shed_learning"`
 }
 
 // Status reports the lifecycle's current shape.
 func (m *Manager) Status() Status {
 	m.mu.Lock()
 	st := Status{
-		Generation:  m.generation,
-		Cycles:      m.cycleNum,
-		CanRollback: m.prev != nil,
+		Generation:   m.generation,
+		Cycles:       m.cycleNum,
+		CanRollback:  m.prev != nil,
+		Breaker:      m.breaker.Status(),
+		ShedLearning: m.shedLearning.Load(),
 	}
 	for ci := range m.pending {
 		st.Pending = append(st.Pending, ci)

@@ -10,6 +10,7 @@ import (
 	"nfvpredict/internal/atomicfile"
 	"nfvpredict/internal/cluster"
 	"nfvpredict/internal/features"
+	"nfvpredict/internal/resilience"
 	"nfvpredict/internal/wireframe"
 )
 
@@ -65,6 +66,10 @@ func (m *Manager) SaveSpool(path string) error {
 		wf.Clusters = append(wf.Clusters, spoolClusterWire{Windows: clean, Quarantine: quar, Hist: hist})
 	}
 	return atomicfile.Write(path, func(w io.Writer) error {
+		// The spool.write fault point injects disk-full/torn failures inside
+		// the atomic-write window: the temp file is discarded and the
+		// previous spool generation survives.
+		w = m.fpSpoolW.Writer(w)
 		var payload bytes.Buffer
 		if err := gob.NewEncoder(&payload).Encode(&wf); err != nil {
 			return fmt.Errorf("lifecycle: encoding spool: %w", err)
@@ -76,11 +81,17 @@ func (m *Manager) SaveSpool(path string) error {
 // LoadSpool restores a spool saved by SaveSpool. A missing file is a clean
 // cold start (nil error). A fingerprint mismatch — the tree lineage moved
 // since the spool was written — discards the spool and starts cold, also
-// nil: stale template IDs must never seed an adaptation. Corrupt framing
-// is an error.
+// nil: stale template IDs must never seed an adaptation. A torn, truncated,
+// or bit-flipped spool is quarantined (renamed *.corrupt, preserving the
+// evidence) and the manager cold-starts, also nil — corrupt durable state
+// must never take the process down. Only I/O errors (including injected
+// spool.read faults, which the caller may retry) are returned.
 func (m *Manager) LoadSpool(path string) error {
 	if path == "" {
 		return nil
+	}
+	if err := m.fpSpoolR.Fire(); err != nil {
+		return fmt.Errorf("lifecycle: spool %s: %w", path, err)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -91,14 +102,14 @@ func (m *Manager) LoadSpool(path string) error {
 	}
 	payload, framed, err := wireframe.Decode(data, SpoolMagic, SpoolVersion)
 	if err != nil {
-		return fmt.Errorf("lifecycle: spool %s: %w", path, err)
+		return m.quarantineSpool(path, err)
 	}
 	if !framed {
-		return fmt.Errorf("lifecycle: spool %s: not a spool file", path)
+		return m.quarantineSpool(path, fmt.Errorf("not a spool file"))
 	}
 	var wf spoolWire
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wf); err != nil {
-		return fmt.Errorf("lifecycle: spool %s: decoding: %w", path, err)
+		return m.quarantineSpool(path, fmt.Errorf("decoding: %w", err))
 	}
 	m.mu.Lock()
 	mon := m.mon
@@ -124,5 +135,19 @@ func (m *Manager) LoadSpool(path string) error {
 		}
 	}
 	m.mu.Unlock()
+	return nil
+}
+
+// quarantineSpool sets a corrupt spool aside (path → path.corrupt) so the
+// next save starts clean and the evidence survives for inspection, then
+// reports a cold start (nil). A failed rename is returned — leaving the
+// corrupt file in place would re-fail every restart.
+func (m *Manager) quarantineSpool(path string, cause error) error {
+	qpath, qerr := resilience.Quarantine(path)
+	if qerr != nil {
+		return fmt.Errorf("lifecycle: spool %s: %v (and quarantine failed: %w)", path, cause, qerr)
+	}
+	m.spoolQuarC.Inc()
+	m.logf("lifecycle: spool %s corrupt (%v); quarantined to %s, starting cold", path, cause, qpath)
 	return nil
 }

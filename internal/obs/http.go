@@ -5,48 +5,140 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
 
-// Health tracks the process's liveness/readiness for the admin endpoints.
-// Liveness means "the process is serving" (true from construction);
-// readiness can be flipped off — with a reason — when the serving state is
-// degraded, e.g. a bundle hot-reload failed validation and the monitor is
-// still serving the previous model. All methods are safe for concurrent
-// use; a nil Health reads as alive and ready.
-type Health struct {
-	mu     sync.Mutex
-	ready  bool
-	reason string
+// Condition is one named readiness/degradation signal. Critical conditions
+// (set via SetCondition) gate readiness: any failing one makes /readyz
+// return 503. Informational conditions (set via SetDegraded) never fail
+// readiness — they describe degraded-but-still-serving states (learning
+// shed, breaker open) that an operator should see but a load balancer
+// should not route around, because warnings are still being emitted.
+type Condition struct {
+	Name string `json:"name"`
+	// OK is false when a critical condition is failing readiness.
+	OK bool `json:"ok"`
+	// Degraded marks an informational condition that is currently active.
+	Degraded bool `json:"degraded,omitempty"`
+	// Reason explains a failing or degraded condition.
+	Reason string `json:"reason,omitempty"`
 }
 
-// NewHealth returns a Health that starts ready.
-func NewHealth() *Health { return &Health{ready: true} }
+// Health tracks the process's liveness/readiness for the admin endpoints as
+// a set of named conditions. Liveness means "the process is serving" (true
+// from construction); readiness fails — with the failing conditions named —
+// only when the process can no longer do its one critical job: emitting
+// warnings (a rejected model bundle with nothing to serve, scoring shed).
+// All methods are safe for concurrent use; a nil Health reads as alive,
+// ready, and condition-free.
+type Health struct {
+	mu    sync.Mutex
+	conds map[string]*Condition
+}
+
+// defaultCondition is the name SetReady writes, keeping the one-flag API
+// working for callers that predate named conditions.
+const defaultCondition = "serving"
+
+// NewHealth returns a Health that starts ready with no conditions.
+func NewHealth() *Health { return &Health{conds: make(map[string]*Condition)} }
 
 // SetReady marks the process ready (reason ignored) or unready for the
-// given reason.
+// given reason. It is shorthand for SetCondition(defaultCondition, ...).
 func (h *Health) SetReady(ready bool, reason string) {
+	h.SetCondition(defaultCondition, ready, reason)
+}
+
+// SetCondition records a critical condition: while any critical condition
+// has ok=false, /readyz fails with every failing condition's name and
+// reason. Setting ok=true clears it.
+func (h *Health) SetCondition(name string, ok bool, reason string) {
 	if h == nil {
 		return
 	}
 	h.mu.Lock()
-	h.ready = ready
-	if ready {
+	defer h.mu.Unlock()
+	if h.conds == nil {
+		h.conds = make(map[string]*Condition)
+	}
+	if ok {
 		reason = ""
 	}
-	h.reason = reason
-	h.mu.Unlock()
+	h.conds[name] = &Condition{Name: name, OK: ok, Reason: reason}
 }
 
-// Ready returns the readiness state and, when unready, the reason.
+// SetDegraded records an informational condition: it is surfaced on
+// /readyz and /statusz but never fails readiness. Setting degraded=false
+// clears it.
+func (h *Health) SetDegraded(name string, degraded bool, reason string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.conds == nil {
+		h.conds = make(map[string]*Condition)
+	}
+	if !degraded {
+		reason = ""
+	}
+	h.conds[name] = &Condition{Name: name, OK: true, Degraded: degraded, Reason: reason}
+}
+
+// Conditions returns every recorded condition, sorted by name.
+func (h *Health) Conditions() []Condition {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Condition, 0, len(h.conds))
+	for _, c := range h.conds {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Ready returns the readiness state and, when unready, the failing
+// conditions joined as "name: reason" (single-condition failures keep the
+// bare reason for backward compatibility with log/alert matchers).
 func (h *Health) Ready() (bool, string) {
 	if h == nil {
 		return true, ""
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.ready, h.reason
+	var failing []string
+	for _, c := range h.conds {
+		if !c.OK {
+			failing = append(failing, c.Name+": "+c.Reason)
+		}
+	}
+	if len(failing) == 0 {
+		return true, ""
+	}
+	sort.Strings(failing)
+	if len(failing) == 1 {
+		// Preserve the single-reason body shape: "name: reason" reads
+		// naturally and still contains the raw reason substring.
+		return false, failing[0]
+	}
+	return false, strings.Join(failing, "; ")
+}
+
+// Degradations returns the active informational conditions, sorted by name.
+func (h *Health) Degradations() []Condition {
+	var out []Condition
+	for _, c := range h.Conditions() {
+		if c.Degraded {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // AdminConfig assembles the admin surface. Any field may be nil/zero; the
@@ -122,11 +214,27 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 	})
 
 	health := func(w http.ResponseWriter, r *http.Request) {
-		if ok, reason := cfg.Health.Ready(); !ok {
+		ok, reason := cfg.Health.Ready()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			json.NewEncoder(w).Encode(struct {
+				Ready      bool        `json:"ready"`
+				Reason     string      `json:"reason,omitempty"`
+				Conditions []Condition `json:"conditions"`
+			}{ok, reason, cfg.Health.Conditions()})
+			return
+		}
+		if !ok {
 			http.Error(w, "unready: "+reason, http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ok")
+		for _, c := range cfg.Health.Degradations() {
+			fmt.Fprintf(w, "degraded: %s: %s\n", c.Name, c.Reason)
+		}
 	}
 	mux.HandleFunc("/healthz", health)
 	mux.HandleFunc("/readyz", health)

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -412,5 +413,99 @@ func TestAdminMuxEndpoints(t *testing.T) {
 	}
 	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
 		t.Fatalf("pprof: %d", code)
+	}
+}
+
+func TestHealthNamedConditions(t *testing.T) {
+	h := NewHealth()
+	if ok, _ := h.Ready(); !ok {
+		t.Fatal("fresh health unready")
+	}
+
+	// Two critical conditions fail independently; readiness names both.
+	h.SetCondition("bundle", false, "hot-reload of /tmp/bad.nfvm rejected")
+	h.SetCondition("degradation", false, "scoring shed: warnings suppressed")
+	ok, reason := h.Ready()
+	if ok {
+		t.Fatal("failing critical conditions left health ready")
+	}
+	for _, want := range []string{"bundle: hot-reload of /tmp/bad.nfvm rejected", "degradation: scoring shed"} {
+		if !strings.Contains(reason, want) {
+			t.Fatalf("reason %q missing %q", reason, want)
+		}
+	}
+
+	// Clearing one still fails on the other, with the bare "name: reason" form.
+	h.SetCondition("degradation", true, "")
+	ok, reason = h.Ready()
+	if ok || reason != "bundle: hot-reload of /tmp/bad.nfvm rejected" {
+		t.Fatalf("single failing condition => (%v, %q)", ok, reason)
+	}
+
+	// Informational degradation never fails readiness but is listed.
+	h.SetCondition("bundle", true, "")
+	h.SetDegraded("adaptation", true, "breaker open")
+	if ok, _ := h.Ready(); !ok {
+		t.Fatal("informational degradation failed readiness")
+	}
+	degs := h.Degradations()
+	if len(degs) != 1 || degs[0].Name != "adaptation" || degs[0].Reason != "breaker open" {
+		t.Fatalf("degradations = %+v", degs)
+	}
+	conds := h.Conditions()
+	if len(conds) != 3 {
+		t.Fatalf("conditions = %+v, want 3 entries", conds)
+	}
+	for i := 1; i < len(conds); i++ {
+		if conds[i-1].Name > conds[i].Name {
+			t.Fatalf("conditions not sorted: %+v", conds)
+		}
+	}
+	h.SetDegraded("adaptation", false, "")
+	if degs := h.Degradations(); len(degs) != 0 {
+		t.Fatalf("cleared degradation persists: %+v", degs)
+	}
+}
+
+func TestAdminMuxReadyzConditions(t *testing.T) {
+	health := NewHealth()
+	mux := NewAdminMux(AdminConfig{Health: health})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Degraded-but-serving: 200 with the degradation named in the body.
+	health.SetDegraded("degradation", true, "learning shed: shard queues backed up")
+	code, body := get("/readyz")
+	if code != 200 || !strings.Contains(body, "degraded: degradation: learning shed") {
+		t.Fatalf("/readyz degraded = %d %q", code, body)
+	}
+
+	// JSON form lists every condition with its flags.
+	health.SetCondition("bundle", false, "rejected")
+	code, body = get("/readyz?format=json")
+	if code != 503 {
+		t.Fatalf("/readyz json unready = %d", code)
+	}
+	var doc struct {
+		Ready      bool        `json:"ready"`
+		Reason     string      `json:"reason"`
+		Conditions []Condition `json:"conditions"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("readyz JSON: %v\n%s", err, body)
+	}
+	if doc.Ready || !strings.Contains(doc.Reason, "bundle: rejected") || len(doc.Conditions) != 2 {
+		t.Fatalf("readyz doc = %+v", doc)
 	}
 }

@@ -1,0 +1,177 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed admits every call (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every call until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen has admitted one probe and is waiting on its
+	// outcome; further calls are rejected until the probe reports.
+	BreakerHalfOpen
+)
+
+// String returns the conventional lowercase state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker for background control
+// loops: Threshold consecutive failures open it, every call is rejected
+// for Cooldown, then exactly one probe is admitted (half-open) — success
+// closes the breaker, failure re-opens it for another cooldown. It exists
+// so a persistently failing subsystem (the adaptation cycle hitting a
+// lifecycle bug, a wedged dependency) costs one skipped call per cooldown
+// instead of a crash loop inside the serving process.
+//
+// All methods are safe for concurrent use. A nil Breaker admits everything.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (values below 1 read as 1).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (0 reads as 1 minute).
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
+	opens    uint64
+	now      func() time.Time // test hook; nil means time.Now
+}
+
+// BreakerStatus is a snapshot for status surfaces.
+type BreakerStatus struct {
+	State BreakerState `json:"-"`
+	// StateName is State rendered for JSON consumers.
+	StateName string `json:"state"`
+	// ConsecutiveFailures is the current closed-state failure streak.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Opens counts closed→open (and half-open→open) transitions.
+	Opens uint64 `json:"opens"`
+	// OpenFor is how long the breaker has been open (0 unless open).
+	OpenFor time.Duration `json:"-"`
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether a call may proceed, transitioning open→half-open
+// once the cooldown has elapsed (the admitted call is the probe). Callers
+// that proceed must report the outcome via Success or Failure.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		cd := b.Cooldown
+		if cd <= 0 {
+			cd = time.Minute
+		}
+		if b.clock().Sub(b.openedAt) >= cd {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: one probe is already in flight
+		return false
+	}
+}
+
+// Success reports a successful call: the failure streak resets and a
+// half-open breaker closes.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.failures = 0
+	b.state = BreakerClosed
+	b.mu.Unlock()
+}
+
+// Failure reports a failed call: a half-open probe re-opens the breaker
+// immediately, a closed breaker opens once the streak reaches Threshold.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	threshold := b.Threshold
+	if threshold < 1 {
+		threshold = 1
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= threshold {
+			b.open()
+		}
+	default: // already open (a straggling in-flight call): leave the clock alone
+	}
+}
+
+// open transitions to the open state. Caller holds b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.failures = 0
+	b.openedAt = b.clock()
+	b.opens++
+}
+
+// State returns the current position without side effects (it does not
+// perform the open→half-open cooldown transition; Allow does).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Status returns a snapshot for /statusz-style surfaces.
+func (b *Breaker) Status() BreakerStatus {
+	if b == nil {
+		return BreakerStatus{StateName: BreakerClosed.String()}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStatus{
+		State:               b.state,
+		StateName:           b.state.String(),
+		ConsecutiveFailures: b.failures,
+		Opens:               b.opens,
+	}
+	if b.state == BreakerOpen {
+		st.OpenFor = b.clock().Sub(b.openedAt)
+	}
+	return st
+}

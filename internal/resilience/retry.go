@@ -1,0 +1,79 @@
+package resilience
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// RetryPolicy bounds a Retry loop.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first
+	// (default 3; values below 1 read as 1).
+	Attempts int
+	// Base, Max, and Jitter parameterize the inter-attempt backoff
+	// (NewBackoff defaults apply to zero values).
+	Base, Max time.Duration
+	Jitter    float64
+	// Seed fixes the jitter sequence; 0 seeds from the clock.
+	Seed int64
+}
+
+// Retry runs fn until it succeeds, the policy's attempts are exhausted, or
+// stop closes (nil stop never interrupts). Between attempts it sleeps the
+// policy's jittered backoff. The returned error is the last attempt's,
+// annotated with the attempt count; a stop-interrupted retry returns the
+// last error seen (or nil when fn never ran to failure).
+//
+// Retry is the wrapper every durable I/O path goes through: a checkpoint
+// or spool write that fails on a transient condition (disk briefly full,
+// injected torn write) retries instead of abandoning the snapshot, and the
+// atomic-write discipline underneath guarantees the previous artifact
+// survives every failed attempt — last-known-good is never at risk.
+func Retry(stop <-chan struct{}, pol RetryPolicy, fn func() error) error {
+	attempts := pol.Attempts
+	if attempts < 1 {
+		attempts = 3
+	}
+	b := NewBackoff(pol.Base, pol.Max, pol.Jitter, pol.Seed)
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		t := time.NewTimer(b.Next())
+		select {
+		case <-t.C:
+		case <-stop:
+			t.Stop()
+			return fmt.Errorf("resilience: retry interrupted after %d attempt(s): %w", i+1, err)
+		}
+		t.Stop()
+	}
+	return fmt.Errorf("resilience: %d attempt(s) failed: %w", attempts, err)
+}
+
+// Quarantine moves a corrupt artifact aside (path → path.corrupt, or
+// .corrupt.N when earlier quarantines exist) so the process can cold-start
+// past it without destroying the evidence — and without the next startup
+// tripping over the same bad bytes. It returns the quarantine path.
+func Quarantine(path string) (string, error) {
+	for i := 0; ; i++ {
+		q := path + ".corrupt"
+		if i > 0 {
+			q = fmt.Sprintf("%s.corrupt.%d", path, i)
+		}
+		if _, err := os.Lstat(q); err == nil {
+			continue // occupied by an earlier quarantine
+		} else if !os.IsNotExist(err) {
+			return "", fmt.Errorf("resilience: probing quarantine slot %s: %w", q, err)
+		}
+		if err := os.Rename(path, q); err != nil {
+			return "", fmt.Errorf("resilience: quarantining %s: %w", path, err)
+		}
+		return q, nil
+	}
+}
