@@ -43,7 +43,10 @@ chaos-full:
 # precision (f64/f32/int8 LSTM step, blocked matvec, packed f32 and
 # int8 matvec). The hard 0 allocs/op assertions are
 # TestHotPathAllocFree, TestScoringHotPathAllocFree, and
-# TestQuantStepAllocFree, which run with the suite.
+# TestQuantStepAllocFree, which run with the suite. The last two lines
+# are the tracing-overhead gate: a smoke run of the traced/untraced
+# HandleMessage pair plus TestSpanOverhead, which fails ci if span
+# instrumentation costs more than 5% on the serving hot path.
 ci: build
 	$(GO) vet ./...
 	$(GO) test ./...
@@ -55,6 +58,8 @@ ci: build
 	$(GO) test ./internal/obs/ -run XXX -bench Registry -benchtime=1x -benchmem
 	$(GO) test ./internal/nn/ -run XXX -bench 'StepLogProbs' -benchtime=1x -benchmem
 	$(GO) test ./internal/mat/ -run XXX -bench 'MulMatAdd|MulVecAdd' -benchtime=1x -benchmem
+	$(GO) test ./internal/ingest/ -run XXX -bench 'MonitorHandleMessage$$|MonitorHandleMessageSpans$$' -benchtime=1x -benchmem
+	NFV_SPAN_GATE=1 $(GO) test ./internal/ingest/ -run TestSpanOverhead -count=1 -v
 
 bench: bench-nn bench-pipeline bench-obs bench-serving
 

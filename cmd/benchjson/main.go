@@ -37,6 +37,12 @@ type result struct {
 	// scaling curve of the sharded scoring path in one number per row.
 	SpeedupVsShards1 float64 `json:"speedup_vs_shards1,omitempty"`
 
+	// SpanOverheadVsBase is derived for the MonitorHandleMessageSpans
+	// row: its ns/op over the untraced MonitorHandleMessage baseline,
+	// i.e. the tracing stack's cost ratio at the default 1-in-16
+	// sampling rate (1.0 = free; the ci gate holds it at ≤ 1.05).
+	SpanOverheadVsBase float64 `json:"span_overhead_vs_base,omitempty"`
+
 	// Extra holds any "value unit" pairs beyond the three standard ones,
 	// e.g. MB/s from SetBytes or custom ReportMetric units.
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -61,6 +67,25 @@ func deriveShardSpeedups(results []result) {
 	for i := range results {
 		if strings.HasPrefix(results[i].Name, shardsPrefix) && results[i].MsgsPerSec > 0 {
 			results[i].SpeedupVsShards1 = results[i].MsgsPerSec / base
+		}
+	}
+}
+
+// deriveSpanOverhead fills SpanOverheadVsBase on the traced HandleMessage
+// row once its untraced baseline is parsed.
+func deriveSpanOverhead(results []result) {
+	var base float64
+	for _, r := range results {
+		if r.Name == "BenchmarkMonitorHandleMessage" && r.NsPerOp > 0 {
+			base = r.NsPerOp
+		}
+	}
+	if base == 0 {
+		return
+	}
+	for i := range results {
+		if results[i].Name == "BenchmarkMonitorHandleMessageSpans" && results[i].NsPerOp > 0 {
+			results[i].SpanOverheadVsBase = results[i].NsPerOp / base
 		}
 	}
 }
@@ -126,6 +151,7 @@ func main() {
 		os.Exit(1)
 	}
 	deriveShardSpeedups(results)
+	deriveSpanOverhead(results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {

@@ -65,6 +65,29 @@ func TestDeriveShardSpeedups(t *testing.T) {
 	}
 }
 
+func TestDeriveSpanOverhead(t *testing.T) {
+	results := []result{
+		{Name: "BenchmarkMonitorHandleMessage", NsPerOp: 3200},
+		{Name: "BenchmarkMonitorHandleMessageSpans", NsPerOp: 3328},
+		{Name: "BenchmarkStepLogProbs", NsPerOp: 2000},
+	}
+	deriveSpanOverhead(results)
+	if results[1].SpanOverheadVsBase != 1.04 {
+		t.Errorf("span overhead = %v, want 1.04", results[1].SpanOverheadVsBase)
+	}
+	if results[0].SpanOverheadVsBase != 0 || results[2].SpanOverheadVsBase != 0 {
+		t.Errorf("non-span rows got an overhead ratio: %+v", results)
+	}
+}
+
+func TestDeriveSpanOverheadNoBaseline(t *testing.T) {
+	results := []result{{Name: "BenchmarkMonitorHandleMessageSpans", NsPerOp: 3328}}
+	deriveSpanOverhead(results)
+	if results[0].SpanOverheadVsBase != 0 {
+		t.Errorf("overhead without a baseline should stay 0, got %v", results[0].SpanOverheadVsBase)
+	}
+}
+
 func TestDeriveShardSpeedupsNoBaseline(t *testing.T) {
 	results := []result{{Name: "BenchmarkMonitorParallelShards4", MsgsPerSec: 320000}}
 	deriveShardSpeedups(results)

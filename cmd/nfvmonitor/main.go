@@ -39,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -64,14 +65,18 @@ type options struct {
 	seed      int64
 	shards    int
 	precision string
-	model     string
-	ckpt      string
-	ckptEvery time.Duration
-	admin     string
-	traceBuf  int
-	verbose   bool
-	watchdog  time.Duration
-	chaos     bool
+	model      string
+	ckpt       string
+	ckptEvery  time.Duration
+	admin      string
+	traceBuf   int
+	spanBuf    int
+	spanSample int
+	sloLatency time.Duration
+	burnDir    string
+	verbose    bool
+	watchdog   time.Duration
+	chaos      bool
 
 	adapt         bool
 	adaptInterval time.Duration
@@ -93,6 +98,10 @@ func main() {
 	flag.DurationVar(&o.ckptEvery, "checkpoint-interval", time.Minute, "how often to write the checkpoint")
 	flag.StringVar(&o.admin, "admin", "", "admin HTTP listen address serving /metrics, /statusz, /traces, /healthz, /readyz, /debug/pprof (empty disables)")
 	flag.IntVar(&o.traceBuf, "trace-buffer", 256, "decision traces retained for /traces")
+	flag.IntVar(&o.spanBuf, "span-buffer", 512, "pipeline spans retained for /spans")
+	flag.IntVar(&o.spanSample, "span-sample", 16, "stage-clock sampling: 1 in N accepted messages carries a full span stage breakdown (warnings always get a span); 0 disables sampling")
+	flag.DurationVar(&o.sloLatency, "slo-latency", 250*time.Millisecond, "accept→verdict latency bound for the accept_verdict_latency SLO")
+	flag.StringVar(&o.burnDir, "profile-on-burn", "", "directory for CPU profiles captured when an SLO fast window starts burning (empty disables)")
 	flag.BoolVar(&o.verbose, "v", false, "verbose (debug-level) logging")
 	flag.DurationVar(&o.watchdog, "watchdog", 30*time.Second, "stuck-shard-worker deadline: a worker with queued work and no heartbeat progress for this long is abandoned and replaced (0 disables)")
 	flag.BoolVar(&o.chaos, "chaos", false, "enable runtime fault injection: registers the process-wide fault points and mounts the /chaos admin endpoint (drills only — never in production)")
@@ -122,6 +131,18 @@ type app struct {
 	life    *lifecycle.Manager
 	spool   string
 	started time.Time
+
+	// spans/tracer are the pipeline-tracing layer behind /spans; slos is
+	// the objective set behind /slo, with the three standing objectives
+	// held out as direct handles. profiler captures a CPU profile when a
+	// fast window starts burning (-profile-on-burn).
+	spans      *obs.SpanRing
+	tracer     *obs.Tracer
+	slos       *obs.SLOSet
+	sloLatency *obs.SLO
+	sloDrops   *obs.SLO
+	sloAvail   *obs.SLO
+	profiler   *obs.BurnProfiler
 
 	// degrader is the degradation controller: it samples queue pressure and
 	// fault counters (sampleDegrade, on a timer in run) and steps the stack
@@ -183,8 +204,11 @@ type resilienceStatus struct {
 
 // statusDoc is the /statusz document.
 type statusDoc struct {
-	Now        time.Time           `json:"now"`
-	UptimeSec  float64             `json:"uptime_sec"`
+	Now       time.Time `json:"now"`
+	UptimeSec float64   `json:"uptime_sec"`
+	// Build identifies the running binary (module version, VCS revision,
+	// go version) so a fleet operator can tell instances apart.
+	Build      obs.BuildInfo       `json:"build"`
 	Ready      bool                `json:"ready"`
 	Reason     string              `json:"reason,omitempty"`
 	Bundle     bundleStatus        `json:"bundle"`
@@ -192,6 +216,8 @@ type statusDoc struct {
 	Monitor    ingest.MonitorStats `json:"monitor"`
 	Ingest     ingest.Stats        `json:"ingest"`
 	Traces     uint64              `json:"traces_total"`
+	Spans      uint64              `json:"spans_total"`
+	SLOs       []obs.SLOStatus     `json:"slos,omitempty"`
 	Lifecycle  *lifecycle.Status   `json:"lifecycle,omitempty"`
 	Resilience resilienceStatus    `json:"resilience"`
 	// Precision is the active serving inference mode (f64/f32/int8);
@@ -202,12 +228,16 @@ type statusDoc struct {
 }
 
 // newApp builds the observability plumbing shared by every code path.
-func newApp(log *obs.Logger, traceBuf int) *app {
+// spanSample is the 1-in-N stage-clock sampling rate (0 samples nothing;
+// warnings still get spans).
+func newApp(log *obs.Logger, traceBuf, spanBuf, spanSample int) *app {
 	reg := obs.NewRegistry()
 	a := &app{
 		log:     log,
 		reg:     reg,
 		traces:  obs.NewTraceRing(traceBuf),
+		spans:   obs.NewSpanRing(spanBuf),
+		slos:    obs.NewSLOSet(),
 		health:  obs.NewHealth(),
 		started: time.Now(),
 		reloads: reg.Counter("monitor_bundle_reloads_total",
@@ -219,6 +249,32 @@ func newApp(log *obs.Logger, traceBuf int) *app {
 		lastCkptUnix: reg.Gauge("monitor_checkpoint_last_unix",
 			"Unix time of the last successful checkpoint write (0 = never)."),
 	}
+	n := 1
+	if spanSample <= 0 {
+		n = 0
+	}
+	a.tracer = obs.NewTracer(a.spans, n, spanSample)
+	a.tracer.Export(reg)
+	a.slos.Export(reg)
+	a.sloLatency = a.slos.Add(obs.SLOConfig{
+		Name:        "accept_verdict_latency",
+		Description: "Scored messages reaching a verdict within the latency bound.",
+		Target:      0.99,
+	})
+	a.sloDrops = a.slos.Add(obs.SLOConfig{
+		Name:        "shard_drop_ratio",
+		Description: "Accepted messages admitted to a shard queue (not dropped on overflow).",
+		Target:      0.99,
+	})
+	a.sloAvail = a.slos.Add(obs.SLOConfig{
+		Name:        "warning_availability",
+		Description: "Degradation-controller ticks during which warnings could still be emitted (scoring not shed).",
+		Target:      0.99,
+	})
+	// Hot-path warning lines (one per warning signature, keyed by vPE) are
+	// token-bucket limited so a flapping host cannot flood the log.
+	log.SetRateLimit(1, 5, reg.Counter("log_suppressed_total",
+		"Hot-path warning log lines suppressed by the per-key rate limiter."))
 	return a
 }
 
@@ -257,11 +313,14 @@ func (a *app) status() any {
 	doc := statusDoc{
 		Now:        time.Now(),
 		UptimeSec:  time.Since(a.started).Seconds(),
+		Build:      obs.GetBuildInfo(),
 		Ready:      ready,
 		Reason:     reason,
 		Bundle:     b,
 		Checkpoint: c,
 		Traces:     a.traces.Total(),
+		Spans:      a.spans.Total(),
+		SLOs:       a.slos.Statuses(),
 	}
 	if a.mon != nil {
 		doc.Monitor = a.mon.Stats()
@@ -303,6 +362,8 @@ func (a *app) adminMux() *http.ServeMux {
 	mux := obs.NewAdminMux(obs.AdminConfig{
 		Registry: a.reg,
 		Traces:   a.traces,
+		Spans:    a.spans,
+		SLO:      a.slos,
 		Health:   a.health,
 		Status:   a.status,
 	})
@@ -354,10 +415,18 @@ func (a *app) sampleDegrade() {
 		return
 	}
 	st := a.mon.Stats()
+	// Warning availability is sampled here, on the controller cadence: a tick
+	// spent in shed-scoring is a tick the monitor could not have warned.
+	a.sloAvail.Record(a.mon.DegradeMode() != resilience.ModeShedScoring)
+	burning := a.slos.FastBurning()
+	if len(burning) > 0 {
+		a.profiler.MaybeCapture(strings.Join(burning, ","))
+	}
 	a.degrader.Eval(resilience.Sample{
 		QueueFrac:     a.mon.QueueFrac(),
 		ScoringFaults: st.ShardPanics,
 		IOFaults:      a.ckptFailures.Value(),
+		SLOFastBurn:   len(burning) > 0,
 	})
 	if a.life != nil {
 		bst := a.life.BreakerStatus()
@@ -552,7 +621,11 @@ func run(o options) error {
 	if o.verbose {
 		level = obs.LevelDebug
 	}
-	a := newApp(obs.NewLogger(os.Stdout, level), o.traceBuf)
+	a := newApp(obs.NewLogger(os.Stdout, level), o.traceBuf, o.spanBuf, o.spanSample)
+	if o.burnDir != "" {
+		a.profiler = obs.NewBurnProfiler(o.burnDir, 0, 0, a.log)
+		a.profiler.Export(a.reg)
+	}
 
 	prec, err := detect.ParsePrecision(o.precision)
 	if err != nil {
@@ -584,6 +657,9 @@ func run(o options) error {
 	mcfg.Threshold = threshold
 	mcfg.Metrics = a.reg
 	mcfg.Traces = a.traces
+	mcfg.Tracer = a.tracer
+	mcfg.LatencySLO = a.sloLatency
+	mcfg.LatencyBound = o.sloLatency
 	mcfg.ClusterOf = clusterOf
 	mcfg.Precision = prec
 	mcfg.Shards = o.shards
@@ -604,6 +680,7 @@ func run(o options) error {
 		lcfg.Interval = o.adaptInterval
 		lcfg.GateBudget = o.adaptGate
 		lcfg.Metrics = a.reg
+		lcfg.Tracer = a.tracer
 		lcfg.Log = log.New(os.Stdout, "", log.LstdFlags)
 		if o.chaos {
 			lcfg.Faults = faultinject.Default
@@ -613,7 +690,9 @@ func run(o options) error {
 		mcfg.OnScored = a.life.Observe
 	}
 	onWarning := func(w nfvpredict.Warning) {
-		a.log.Warn("warning signature", "vpe", w.VPE, "anomalies", w.Size, "first", w.Time)
+		// Rate-limited per vPE: a host stuck in an anomalous state re-emits
+		// its signature every cluster, and the log should not amplify that.
+		a.log.WarnLimited(w.VPE, "warning signature", "vpe", w.VPE, "anomalies", w.Size, "first", w.Time)
 	}
 
 	// Resume from the last checkpoint when one exists; any failure —
@@ -661,6 +740,10 @@ func run(o options) error {
 	// The listeners route each parsed message straight to its host's shard
 	// queue; shard workers do the scoring (batching distinct hosts).
 	scfg.Sharded = a.mon
+	// Trace IDs are minted at frame accept so spans cover decode and queue
+	// wait; every queue admission/refusal feeds the shard_drop_ratio SLO.
+	scfg.Tracer = a.tracer
+	scfg.DropSLO = a.sloDrops
 	srv, err := ingest.NewServer(scfg, nil)
 	if err != nil {
 		return err
@@ -698,7 +781,7 @@ func run(o options) error {
 			admin.Shutdown(sctx)
 		}()
 		a.log.Info("admin surface up", "addr", ln.Addr(),
-			"endpoints", "/metrics /statusz /traces /healthz /readyz /debug/pprof")
+			"endpoints", "/metrics /statusz /traces /spans /slo /healthz /readyz /debug/pprof")
 	}
 
 	// SIGHUP: hot-reload the bundle. A bundle that fails to load or

@@ -54,7 +54,7 @@ func trainServing(t *testing.T) (*sigtree.Tree, *detect.LSTMDetector) {
 // testApp wires an app the way run() does, minus listeners and signals.
 func testApp(t *testing.T) (*app, *http.ServeMux) {
 	t.Helper()
-	a := newApp(obs.NewLogger(io.Discard, obs.LevelError), 32)
+	a := newApp(obs.NewLogger(io.Discard, obs.LevelError), 32, 64, 4)
 	tree, det := trainServing(t)
 	mcfg := ingest.DefaultMonitorConfig()
 	mcfg.Threshold = 4
@@ -220,7 +220,7 @@ func TestAdminTracesExplainInjectedAnomaly(t *testing.T) {
 // attached after, /models mounted on the admin mux.
 func testAppAdapt(t *testing.T) (*app, *http.ServeMux) {
 	t.Helper()
-	a := newApp(obs.NewLogger(io.Discard, obs.LevelError), 32)
+	a := newApp(obs.NewLogger(io.Discard, obs.LevelError), 32, 64, 4)
 	tree, det := trainServing(t)
 	ms := &lifecycle.ModelSet{
 		Detectors: []*detect.LSTMDetector{det},

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/obs"
+	"nfvpredict/internal/resilience"
+)
+
+// TestSLOBurnShedsLearning pins the SLO → degrader chain: an induced
+// drop burst flips the shard_drop_ratio fast window (visible at /slo)
+// while the degrader is still in normal mode, and the next controller
+// sample sheds learning with the SLO burn as its reason — the early
+// warning fires before the shed, not after. The -profile-on-burn hook
+// captures its CPU profile on the same tick.
+func TestSLOBurnShedsLearning(t *testing.T) {
+	a, mux := testApp(t)
+	a.initDegrader()
+	a.profiler = obs.NewBurnProfiler(t.TempDir(), 50*time.Millisecond, time.Hour, a.log)
+	a.profiler.Export(a.reg)
+	a.sampleDegrade() // prime the controller's delta baselines
+
+	if got := a.degrader.Mode(); got != resilience.ModeNormal {
+		t.Fatalf("baseline mode = %v", got)
+	}
+	// An overload burst: the ingest server would record every shard-queue
+	// refusal as a bad admission event. 30% bad over a 1% budget is burn
+	// 30 — past the 14.4 fast threshold.
+	a.sloDrops.RecordN(70, 30)
+
+	// The burn is already visible on /slo while the degrader still reads
+	// normal: the SLO surface leads the shed.
+	code, body := get(t, mux, "/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/slo: %d", code)
+	}
+	var doc struct {
+		SLOs []obs.SLOStatus `json:"slos"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/slo JSON: %v\n%s", err, body)
+	}
+	var drop *obs.SLOStatus
+	for i := range doc.SLOs {
+		if doc.SLOs[i].Name == "shard_drop_ratio" {
+			drop = &doc.SLOs[i]
+		}
+	}
+	if drop == nil || !drop.Fast.Burning {
+		t.Fatalf("/slo does not show the drop burn: %s", body)
+	}
+	if got := a.degrader.Mode(); got != resilience.ModeNormal {
+		t.Fatalf("degrader shed before its sampling tick: %v", got)
+	}
+
+	// The controller's next sample consumes the burn: learning shed,
+	// reason naming the SLO, burn profile captured.
+	a.sampleDegrade()
+	if got := a.degrader.Mode(); got != resilience.ModeShedLearning {
+		t.Fatalf("mode after burn sample = %v, want shed-learning", got)
+	}
+	if reason := a.degrader.Reason(); !strings.Contains(reason, "SLO") {
+		t.Fatalf("shed reason = %q, want the SLO burn named", reason)
+	}
+	if got := a.reg.Snapshot().Counters["slo_burn_profiles_total"]; got != 1 {
+		t.Fatalf("burn profiles captured = %d, want 1", got)
+	}
+	// Scoring still runs at shed-learning, so warning availability stays
+	// good — both availability ticks so far were sheddable-free.
+	if st := a.sloAvail.Status(); st.Fast.Good != 2 || st.Fast.Bad != 0 {
+		t.Fatalf("availability SLO = %+v", st.Fast)
+	}
+
+	// The burning objective's exported gauge flipped with the Statuses
+	// refresh the /slo render performed.
+	if v := a.reg.Snapshot().Gauges["shard_drop_ratio_slo_fast_burning"]; v != 1 {
+		t.Fatalf("burning gauge = %v", v)
+	}
+}
+
+// TestStatuszObservabilitySections checks /statusz gained the PR's
+// sections: build info from the running binary, the SLO evaluations, and
+// the span-ring total.
+func TestStatuszObservabilitySections(t *testing.T) {
+	a, mux := testApp(t)
+	a.spans.Add(obs.Span{TraceID: 1, Kind: obs.KindDecision, Sampled: true, TotalNS: 100})
+	_, body := get(t, mux, "/statusz")
+	var doc struct {
+		Build struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+		Spans uint64          `json:"spans_total"`
+		SLOs  []obs.SLOStatus `json:"slos"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("statusz JSON: %v\n%s", err, body)
+	}
+	if doc.Build.GoVersion == "" {
+		t.Fatalf("statusz build section empty: %s", body)
+	}
+	if doc.Spans != 1 {
+		t.Fatalf("spans_total = %d", doc.Spans)
+	}
+	names := map[string]bool{}
+	for _, s := range doc.SLOs {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"accept_verdict_latency", "shard_drop_ratio", "warning_availability"} {
+		if !names[want] {
+			t.Fatalf("statusz slos missing %q: %v", want, names)
+		}
+	}
+}
+
+// TestWarningLogRateLimited checks the app-level logger wiring: newApp
+// arms the per-key token bucket and exports the suppression counter.
+func TestWarningLogRateLimited(t *testing.T) {
+	a := newApp(obs.NewLogger(io.Discard, obs.LevelWarn), 32, 64, 4)
+	for i := 0; i < 20; i++ {
+		a.log.WarnLimited("vpe01", "warning signature", "i", i)
+	}
+	if got := a.reg.Snapshot().Counters["log_suppressed_total"]; got != 15 {
+		t.Fatalf("suppressed = %d, want 15 of 20 past the burst of 5", got)
+	}
+}

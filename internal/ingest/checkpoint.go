@@ -64,6 +64,10 @@ type checkpointWire struct {
 // historical single-shard format.
 func (m *Monitor) Checkpoint(w io.Writer) error {
 	start := m.ckptSeconds.Start()
+	var spanStart time.Time
+	if m.cfg.Tracer != nil {
+		spanStart = time.Now()
+	}
 	var wf checkpointWire
 	type stamped struct {
 		hw  hostWire
@@ -114,6 +118,20 @@ func (m *Monitor) Checkpoint(w io.Writer) error {
 	}
 	m.ckptSeconds.ObserveDuration(start)
 	m.ckptSaves.Inc()
+	if m.cfg.Tracer != nil {
+		// Checkpoints hold every shard lock; a span makes their cost
+		// visible next to the decision latencies they stall.
+		id, _ := m.cfg.Tracer.Accept()
+		total := int64(time.Since(spanStart))
+		m.cfg.Tracer.Emit(obs.Span{
+			TraceID: id,
+			Kind:    obs.KindCheckpoint,
+			Time:    spanStart,
+			Sampled: true,
+			TotalNS: total,
+			Stages:  obs.StageDurations{CheckpointNS: total},
+		})
+	}
 	return nil
 }
 

@@ -99,6 +99,22 @@ type MonitorConfig struct {
 	// trace identity (bundle deployments pass the bundle assignment);
 	// unmapped or nil reports cluster -1.
 	ClusterOf func(host string) int
+
+	// Tracer, when set, turns on span-based pipeline tracing: messages
+	// arriving with a minted TraceCtx (the ingest Server stamps one at
+	// frame accept) — or stamped here for direct HandleMessage callers —
+	// emit a decision span into the tracer's ring. Sampled messages carry
+	// full stage clocks (queue wait, sigtree, batch wait, score, verdict);
+	// a warning verdict on an unsampled message still emits a span with
+	// the total latency only. Nil disables tracing: the scoring paths pay
+	// one branch and zero clock reads.
+	Tracer *obs.Tracer
+	// LatencySLO, when set, records one good/bad event per traced scored
+	// message: good when accept→verdict latency is within LatencyBound.
+	LatencySLO *obs.SLO
+	// LatencyBound is the accept→verdict latency objective bound; 0 means
+	// DefaultLatencyBound.
+	LatencyBound time.Duration
 	// OnScored, when set, observes every scored message after threshold
 	// evaluation: the host, its model cluster (via ClusterOf, clamped to
 	// 0 when unmapped), the extracted template event, the anomaly score,
@@ -131,6 +147,11 @@ const DefaultShardQueue = 1024
 // per-batch latency keeps growing, so this is a latency/throughput balance,
 // not a hard ceiling.
 const DefaultMaxBatch = 16
+
+// DefaultLatencyBound is the accept→verdict latency objective when
+// MonitorConfig.LatencyBound is unset: generous against the µs-scale
+// scoring path, so only real queueing or a wedged stage burns budget.
+const DefaultLatencyBound = 250 * time.Millisecond
 
 // DefaultMonitorConfig returns the paper's warning-clustering parameters
 // with a placeholder threshold of 6 (≈ e^-6 next-template likelihood) and a
@@ -331,6 +352,9 @@ func NewMonitorWithResolver(cfg MonitorConfig, tree *sigtree.Tree, resolve func(
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
+	if cfg.LatencyBound <= 0 {
+		cfg.LatencyBound = DefaultLatencyBound
+	}
 	m := &Monitor{
 		cfg:       cfg,
 		tree:      tree,
@@ -454,11 +478,30 @@ func (m *Monitor) unlockAll() {
 // one host serialize on its shard.
 func (m *Monitor) HandleMessage(msg logfmt.Message) {
 	start := m.handleSeconds.Start()
+	tr := &msg.Trace
+	if m.cfg.Tracer != nil && tr.ID == 0 {
+		// Direct callers (no ingest Server upstream): accept is here.
+		id, sampled := m.cfg.Tracer.Accept()
+		tr.ID, tr.Sampled = uint64(id), sampled
+		tr.Accept = time.Now()
+	}
 	sh := m.shards[m.shardFor(msg.Host)]
-	sh.mu.Lock()
-	sh.handleLocked(msg)
+	var sp spanInfo
+	if tr.Sampled {
+		// On the synchronous path the queue stage is just the lock wait.
+		lockStart := time.Now()
+		sh.mu.Lock()
+		sp.queueNS = int64(time.Since(lockStart))
+	} else {
+		sh.mu.Lock()
+	}
+	sh.handleLocked(msg, &sp)
 	sh.mu.Unlock()
-	m.handleSeconds.ObserveDuration(start)
+	if tr.Sampled {
+		m.handleSeconds.ObserveDurationExemplar(start, obs.SpanID(tr.ID))
+	} else {
+		m.handleSeconds.ObserveDuration(start)
+	}
 }
 
 // Enqueue routes one message to its host's shard queue without blocking.

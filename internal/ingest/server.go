@@ -49,6 +49,16 @@ type ServerConfig struct {
 	// ingest_shard_drops_total; listeners never block on a slow scorer.
 	// When Sharded is set the sink callback may be nil.
 	Sharded ShardSink
+
+	// Tracer, when set, mints a trace ID for every accepted message at the
+	// accept boundary (before decode) and stamps the message's TraceCtx —
+	// the start of the accept→verdict span the monitor finishes. Nil
+	// disables tracing with zero per-message cost beyond one branch.
+	Tracer *obs.Tracer
+	// DropSLO, when set, records queue admission as an SLO event stream:
+	// good on enqueue, bad on a drop (shard-queue or dispatch-queue
+	// overflow) — the shard-drop-ratio objective.
+	DropSLO *obs.SLO
 }
 
 // ShardSink accepts parsed messages into per-shard bounded queues without
@@ -284,26 +294,45 @@ func (s *Server) enqueue(line []byte) {
 	if len(trimmed) == 0 {
 		return
 	}
+	// Accept is stamped before decode so span totals cover parse time;
+	// the clock is only read when a tracer is attached.
+	var accept time.Time
+	if s.cfg.Tracer != nil {
+		accept = time.Now()
+	}
 	msg, err := logfmt.Parse3164(string(trimmed), s.cfg.Year)
 	if err != nil {
 		s.malformed.Add(1)
 		return
+	}
+	if s.cfg.Tracer != nil {
+		id, sampled := s.cfg.Tracer.Accept()
+		msg.Trace = logfmt.TraceCtx{
+			ID:       uint64(id),
+			Sampled:  sampled,
+			Accept:   accept,
+			DecodeNS: int64(time.Since(accept)),
+		}
 	}
 	if s.cfg.Sharded != nil {
 		// Sharded routing: hand the message to its shard queue right here
 		// on the listener goroutine — no dispatcher hop, no global queue.
 		if s.cfg.Sharded.Enqueue(msg) {
 			s.received.Add(1)
+			s.cfg.DropSLO.Record(true)
 		} else {
 			s.shardDrops.Add(1)
+			s.cfg.DropSLO.Record(false)
 		}
 		return
 	}
 	select {
 	case s.queue <- msg:
 		s.received.Add(1)
+		s.cfg.DropSLO.Record(true)
 	default:
 		s.dropped.Add(1)
+		s.cfg.DropSLO.Record(false)
 	}
 }
 

@@ -76,18 +76,41 @@ type batchBuf struct {
 	streams []*detect.LSTMStream
 	events  []features.Event
 	scores  []float64
+	sps     []spanInfo
 	sb      detect.StreamBatch
 }
 
-// handleLocked ingests one message. Caller holds sh.mu.
-func (sh *shard) handleLocked(msg logfmt.Message) {
+// spanInfo is per-message span scratch threaded through the locked scoring
+// path: the stage timeline segments measured upstream of the verdict.
+// Every field (scoreEnd included) is filled only for sampled messages —
+// the latency SLO is sample-aligned, so the 15-in-16 unsampled path pays
+// no clock reads at all (the ≤5% overhead gate depends on this).
+type spanInfo struct {
+	queueNS   int64
+	sigtreeNS int64
+	batchNS   int64
+	scoreNS   int64
+	scoreEnd  time.Time
+}
+
+// handleLocked ingests one message. Caller holds sh.mu. sp carries the
+// span stage clocks measured so far (never nil; zero when untraced).
+func (sh *shard) handleLocked(msg logfmt.Message, sp *spanInfo) {
 	m := sh.m
 	m.messages.Inc()
+	sampled := msg.Trace.Sampled
 	t0 := m.learnSeconds.Start()
+	var s0 time.Time
+	if sampled {
+		s0 = time.Now()
+	}
 	toks := sigtree.PrepareTokens(msg.Text)
 	m.treeMu.Lock()
 	tpl := m.tree.LearnTokens(toks)
 	m.treeMu.Unlock()
+	if sampled {
+		sp.sigtreeNS = int64(time.Since(s0))
+	}
 	m.learnSeconds.ObserveDuration(t0)
 	if m.DegradeMode() == resilience.ModeShedScoring {
 		// Shed-scoring: the template was learned (the tree stays warm for
@@ -99,34 +122,44 @@ func (sh *shard) handleLocked(msg logfmt.Message) {
 	if hs == nil {
 		return // no model for this host yet
 	}
+	var p0 time.Time
+	if sampled {
+		p0 = time.Now()
+	}
 	score := hs.stream.Push(features.Event{Time: msg.Time, Template: tpl.ID})
-	sh.afterScore(msg, tpl.ID, hs, score)
+	if sampled {
+		sp.scoreEnd = time.Now()
+		sp.scoreNS = int64(sp.scoreEnd.Sub(p0))
+	}
+	sh.afterScore(msg, tpl.ID, hs, score, sp)
 }
 
 // afterScore is everything downstream of a score: the score histogram, the
 // trace context ring, the threshold check, anomaly clustering, the OnScored
-// hook, and the decision trace. Caller holds sh.mu.
-func (sh *shard) afterScore(msg logfmt.Message, tplID int, hs *hostState, score float64) {
+// hook, the decision trace, the latency SLO, and the decision span. Caller
+// holds sh.mu.
+func (sh *shard) afterScore(msg logfmt.Message, tplID int, hs *hostState, score float64, sp *spanInfo) {
 	m := sh.m
-	m.scoreHist.Observe(score)
+	if msg.Trace.Sampled {
+		m.scoreHist.ObserveExemplar(score, obs.SpanID(msg.Trace.ID))
+	} else {
+		m.scoreHist.Observe(score)
+	}
 	if m.cfg.Traces != nil {
 		hs.record(obs.TraceStep{Time: msg.Time, Template: tplID, LogProb: -score})
 	}
-	if score <= sh.threshold {
-		if m.cfg.OnScored != nil {
-			m.cfg.OnScored(msg.Host, sh.clusterIndex(msg.Host),
-				features.Event{Time: msg.Time, Template: tplID}, score, false, false)
-		}
-		return
+	anomalous := score > sh.threshold
+	size, warned := 0, false
+	if anomalous {
+		m.anoms.Inc()
+		size, warned = sh.observeAnomaly(hs, msg.Time)
 	}
-	m.anoms.Inc()
-	size, warned := sh.observeAnomaly(hs, msg.Time)
 	if m.cfg.OnScored != nil {
 		m.cfg.OnScored(msg.Host, sh.clusterIndex(msg.Host),
-			features.Event{Time: msg.Time, Template: tplID}, score, true,
-			size >= m.cfg.MinClusterSize)
+			features.Event{Time: msg.Time, Template: tplID}, score, anomalous,
+			anomalous && size >= m.cfg.MinClusterSize)
 	}
-	if m.cfg.Traces != nil {
+	if anomalous && m.cfg.Traces != nil {
 		cluster := -1
 		if sh.clusterOf != nil {
 			cluster = sh.clusterOf(msg.Host)
@@ -144,6 +177,56 @@ func (sh *shard) afterScore(msg logfmt.Message, tplID int, hs *hostState, score 
 			Warning:     warned,
 		})
 	}
+	sh.finishSpan(&msg, tplID, score, anomalous, warned, sp)
+}
+
+// finishSpan records the latency SLO event and emits the decision span for
+// one traced verdict. Sampled messages get the full stage breakdown and a
+// verdict stage measured from scoreEnd to now; an unsampled warning still
+// emits a span (always-sample-on-warning) carrying the total only, since
+// its stage clocks were never started. Caller holds sh.mu.
+func (sh *shard) finishSpan(msg *logfmt.Message, tplID int, score float64, anomalous, warned bool, sp *spanInfo) {
+	m := sh.m
+	tr := &msg.Trace
+	if tr.ID == 0 {
+		return
+	}
+	if tr.Sampled {
+		// The latency objective rides the sampling decision: 1-in-N
+		// verdicts are measured, which keeps the unsampled hot path free
+		// of clock reads and still feeds the burn windows thousands of
+		// events per minute at serving rates.
+		m.cfg.LatencySLO.Record(sp.scoreEnd.Sub(tr.Accept) <= m.cfg.LatencyBound)
+	}
+	if m.cfg.Tracer == nil || (!tr.Sampled && !warned) {
+		return
+	}
+	s := obs.Span{
+		TraceID:   obs.SpanID(tr.ID),
+		Kind:      obs.KindDecision,
+		Time:      tr.Accept,
+		Host:      msg.Host,
+		Template:  tplID,
+		Score:     score,
+		Anomalous: anomalous,
+		Warning:   warned,
+		Sampled:   tr.Sampled,
+	}
+	if tr.Sampled {
+		end := time.Now()
+		s.Stages = obs.StageDurations{
+			DecodeNS:  tr.DecodeNS,
+			QueueNS:   sp.queueNS,
+			SigtreeNS: sp.sigtreeNS,
+			BatchNS:   sp.batchNS,
+			ScoreNS:   sp.scoreNS,
+			VerdictNS: int64(end.Sub(sp.scoreEnd)),
+		}
+		s.TotalNS = int64(end.Sub(tr.Accept))
+	} else {
+		s.TotalNS = int64(time.Since(tr.Accept))
+	}
+	m.cfg.Tracer.Emit(s)
 }
 
 // clusterIndex maps a host to its model cluster for the OnScored hook:
@@ -315,6 +398,14 @@ drain:
 //     Per-lane arithmetic is bit-identical to the sequential path.
 //
 // Caller holds sh.mu.
+//
+// Span stage clocks on this path are batch-shared: the sigtree section is
+// on every batch member's critical path (they all wait on it), so its full
+// duration counts into each sampled message's SigtreeNS; a lane's BatchNS
+// is the gap from sigtree end to its own inference wave starting, and its
+// ScoreNS is that wave's PushBatch duration. All clock reads are per batch
+// or per wave — never per message — and skipped entirely when no message
+// in the batch is traced.
 func (sh *shard) processBatchLocked(b *batchBuf) {
 	m := sh.m
 	msgs := b.msgs
@@ -323,6 +414,25 @@ func (sh *shard) processBatchLocked(b *batchBuf) {
 	b.tpls = growInts(b.tpls, B)
 	b.hss = growHosts(b.hss, B)
 	b.done = growBools(b.done, B)
+	b.sps = growSpans(b.sps, B)
+	traced := false
+	for i := range msgs {
+		b.sps[i] = spanInfo{}
+		if msgs[i].Trace.ID != 0 {
+			traced = true
+		}
+	}
+	var batchStart time.Time
+	if traced {
+		batchStart = time.Now()
+		for i := range msgs {
+			if tr := &msgs[i].Trace; tr.Sampled {
+				// Queue wait: accept → the shard holding the batch, minus
+				// the decode time already attributed upstream.
+				b.sps[i].queueNS = int64(batchStart.Sub(tr.Accept)) - tr.DecodeNS
+			}
+		}
+	}
 	for i := range msgs {
 		b.toks[i] = sigtree.PrepareTokens(msgs[i].Text)
 	}
@@ -333,6 +443,16 @@ func (sh *shard) processBatchLocked(b *batchBuf) {
 	}
 	m.treeMu.Unlock()
 	m.learnSeconds.ObserveDuration(t0)
+	var sigEnd time.Time
+	if traced {
+		sigEnd = time.Now()
+		sigNS := int64(sigEnd.Sub(batchStart))
+		for i := range msgs {
+			if msgs[i].Trace.Sampled {
+				b.sps[i].sigtreeNS = sigNS
+			}
+		}
+	}
 	m.messages.Add(uint64(B))
 	if m.DegradeMode() == resilience.ModeShedScoring {
 		m.shedMessages.Add(uint64(B))
@@ -365,9 +485,24 @@ func (sh *shard) processBatchLocked(b *batchBuf) {
 			b.streams[k] = b.hss[i].stream
 			b.events[k] = features.Event{Time: msgs[i].Time, Template: b.tpls[i]}
 		}
+		var waveStart time.Time
+		if traced {
+			waveStart = time.Now()
+		}
 		detect.PushBatch(&b.sb, b.streams[:L], b.events[:L], b.scores[:L])
+		if traced {
+			waveEnd := time.Now()
+			for _, i := range b.lanes {
+				sp := &b.sps[i]
+				sp.scoreEnd = waveEnd
+				if msgs[i].Trace.Sampled {
+					sp.batchNS = int64(waveStart.Sub(sigEnd))
+					sp.scoreNS = int64(waveEnd.Sub(waveStart))
+				}
+			}
+		}
 		for k, i := range b.lanes {
-			sh.afterScore(msgs[i], b.tpls[i], b.hss[i], b.scores[k])
+			sh.afterScore(msgs[i], b.tpls[i], b.hss[i], b.scores[k], &b.sps[i])
 			b.done[i] = true
 		}
 		left -= L
@@ -421,6 +556,13 @@ func growEvents(s []features.Event, n int) []features.Event {
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growSpans(s []spanInfo, n int) []spanInfo {
+	if cap(s) < n {
+		return make([]spanInfo, n)
 	}
 	return s[:n]
 }

@@ -90,6 +90,10 @@ type Config struct {
 	// Metrics, when set, receives the lifecycle_* instrument family and
 	// the candidate detectors' candidate_lstm_* training metrics.
 	Metrics *obs.Registry
+	// Tracer, when set, emits one adaptation span per executed cycle
+	// (skipped cycles excluded), so a serving-latency tail can be
+	// attributed to an adaptation cycle holding the swap locks.
+	Tracer *obs.Tracer
 	// Log, when set, receives one line per lifecycle decision.
 	Log *log.Logger
 	// Clock stamps generations and cycle results; nil means time.Now.
@@ -502,7 +506,21 @@ func (m *Manager) runCycle(force bool) CycleResult {
 		}
 	}
 	m.cyclesC.Inc()
+	var spanStart time.Time
+	if m.cfg.Tracer != nil {
+		spanStart = time.Now()
+	}
 	res, err := m.cycleBody(force)
+	if m.cfg.Tracer != nil {
+		id, _ := m.cfg.Tracer.Accept()
+		m.cfg.Tracer.Emit(obs.Span{
+			TraceID: id,
+			Kind:    obs.KindAdaptation,
+			Time:    spanStart,
+			Sampled: true,
+			TotalNS: int64(time.Since(spanStart)),
+		})
+	}
 	if err != nil {
 		m.breaker.Failure()
 		m.logf("lifecycle: cycle failed: %v", err)

@@ -51,6 +51,22 @@ const (
 	FacLocal7 Facility = 23
 )
 
+// TraceCtx is the observability context minted when a frame is accepted
+// off the wire and carried with the message through the scoring pipeline.
+// It is runtime-only state — never serialized to JSONL or the syslog wire
+// form — so datasets round-trip unchanged. ID 0 means "untraced".
+type TraceCtx struct {
+	// ID is the trace identifier (obs.SpanID's integer form).
+	ID uint64
+	// Sampled marks messages chosen for full stage-clock instrumentation.
+	Sampled bool
+	// Accept is when the frame was accepted (before decode); span totals
+	// are measured from here.
+	Accept time.Time
+	// DecodeNS is syslog parse time on the listener goroutine.
+	DecodeNS int64
+}
+
 // Message is one syslog message as emitted by a (virtual or physical) PE
 // router. Host carries the vPE name; Tag the emitting daemon.
 type Message struct {
@@ -66,6 +82,8 @@ type Message struct {
 	Tag string `json:"tag"`
 	// Text is the free-form message body.
 	Text string `json:"text"`
+	// Trace is the runtime trace context (never serialized).
+	Trace TraceCtx `json:"-"`
 }
 
 // Pri returns the RFC 3164 PRI value 8*facility + severity.

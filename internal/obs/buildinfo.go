@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary — the fields a fleet control
+// plane needs to tell instances apart before canarying or draining one:
+// which module version is serving, which VCS revision it was cut from,
+// and whether the working tree was dirty at build time.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	// ModuleVersion is "(devel)" for plain `go build` trees and a
+	// semantic version for released module builds.
+	ModuleVersion string `json:"module_version,omitempty"`
+	VCSRevision   string `json:"vcs_revision,omitempty"`
+	VCSTime       string `json:"vcs_time,omitempty"`
+	VCSModified   bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// GetBuildInfo reads the binary's embedded build metadata once and caches
+// it (debug.ReadBuildInfo walks the embedded module data on every call).
+// Binaries built without module support report only the Go version.
+func GetBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		buildInfo.Module = bi.Main.Path
+		buildInfo.ModuleVersion = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.VCSRevision = s.Value
+			case "vcs.time":
+				buildInfo.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfo.VCSModified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

@@ -45,6 +45,23 @@ func formatValue(v float64) string {
 	}
 }
 
+// formatExemplar renders a bucket exemplar as an OpenMetrics-style suffix:
+//
+//	monitor_handle_seconds_bucket{le="0.001"} 5 # {trace_id="00ab..."} 0.00093 1520012345.123
+//
+// The classic 0.0.4 text format has no exemplar syntax; this is the
+// OpenMetrics form, which Prometheus accepts when exemplar storage is on
+// and the repo's own /spans resolver consumes directly. Buckets without a
+// recorded exemplar render nothing, keeping plain scrapes byte-identical
+// to the pre-exemplar exposition.
+func formatExemplar(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %.3f",
+		e.TraceID.String(), formatValue(e.Value), float64(e.Time.UnixNano())/1e9)
+}
+
 // WritePrometheus writes every registered metric in the Prometheus text
 // exposition format (version 0.0.4), in name order. Histograms emit
 // cumulative le-labelled buckets plus _sum and _count, matching what a
@@ -87,15 +104,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.g.Value()))
 		case kindHistogram:
 			bounds, counts := m.h.Buckets()
+			exemplars := m.h.Exemplars()
 			var cum uint64
 			for i, b := range bounds {
 				cum += counts[i]
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatValue(b), cum); err != nil {
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n",
+					m.name, formatValue(b), cum, formatExemplar(exemplars[i])); err != nil {
 					return err
 				}
 			}
 			cum += counts[len(counts)-1]
-			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n",
+				m.name, cum, formatExemplar(exemplars[len(exemplars)-1])); err != nil {
 				return err
 			}
 			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
@@ -117,6 +137,9 @@ type HistogramSnapshot struct {
 	Counts []uint64  `json:"counts"`
 	Sum    float64   `json:"sum"`
 	Count  uint64    `json:"count"`
+	// Exemplars, when any landed, has one entry per Counts slot (nil
+	// where that bucket has no exemplar).
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every registered metric, the JSON
@@ -150,12 +173,19 @@ func (r *Registry) Snapshot() Snapshot {
 				s.Histograms = make(map[string]HistogramSnapshot)
 			}
 			bounds, counts := m.h.Buckets()
-			s.Histograms[m.name] = HistogramSnapshot{
+			hs := HistogramSnapshot{
 				Bounds: bounds,
 				Counts: counts,
 				Sum:    m.h.Sum(),
 				Count:  m.h.Count(),
 			}
+			for _, e := range m.h.Exemplars() {
+				if e != nil {
+					hs.Exemplars = m.h.Exemplars()
+					break
+				}
+			}
+			s.Histograms[m.name] = hs
 		}
 	}
 	return s

@@ -148,8 +148,15 @@ type AdminConfig struct {
 	// Registry backs /metrics (Prometheus text; ?format=json for the JSON
 	// exposition).
 	Registry *Registry
-	// Traces backs /traces (?n=50 limits the count, newest first).
+	// Traces backs /traces (?n=50 limits the count, newest first;
+	// ?host= and ?warnings=1 filter).
 	Traces *TraceRing
+	// Spans backs /spans (?n=, ?host=, ?warnings=1, ?trace=<hex id>,
+	// ?kind= filters, newest first) — the stage-latency counterpart of
+	// /traces, and the resolver for histogram exemplar trace IDs.
+	Spans *SpanRing
+	// SLO backs /slo: every objective's multi-window burn evaluation.
+	SLO *SLOSet
 	// Health backs /healthz and /readyz: both return 503 with the reason
 	// while unready, 200 otherwise. /healthz answers "is the process
 	// serving and not degraded"; /readyz is the load-balancer form of the
@@ -160,10 +167,29 @@ type AdminConfig struct {
 	Status func() any
 }
 
+// queryCount parses an ?n= style count parameter; on a bad value it writes
+// a 400 and reports ok=false.
+func queryCount(w http.ResponseWriter, raw, endpoint string) (int, bool) {
+	if raw == "" {
+		return 0, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		http.Error(w, endpoint+": n must be a non-negative integer", http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
+// boolParam interprets a filter flag: present and not explicitly off.
+func boolParam(raw string) bool {
+	return raw != "" && raw != "0" && !strings.EqualFold(raw, "false")
+}
+
 // NewAdminMux builds the admin HTTP handler: /metrics, /statusz, /traces,
-// /healthz, /readyz, and the pprof suite under /debug/pprof/. It is its
-// own mux (never http.DefaultServeMux) so importing this package does not
-// leak handlers into unrelated servers.
+// /spans, /slo, /healthz, /readyz, and the pprof suite under
+// /debug/pprof/. It is its own mux (never http.DefaultServeMux) so
+// importing this package does not leak handlers into unrelated servers.
 func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 	mux := http.NewServeMux()
 
@@ -191,16 +217,12 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 	})
 
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
-		n := 0
-		if q := r.URL.Query().Get("n"); q != "" {
-			v, err := strconv.Atoi(q)
-			if err != nil || v < 0 {
-				http.Error(w, "traces: n must be a non-negative integer", http.StatusBadRequest)
-				return
-			}
-			n = v
+		q := r.URL.Query()
+		n, ok := queryCount(w, q.Get("n"), "traces")
+		if !ok {
+			return
 		}
-		traces := cfg.Traces.Recent(n)
+		traces := cfg.Traces.Filtered(n, q.Get("host"), boolParam(q.Get("warnings")))
 		if traces == nil {
 			traces = []Trace{}
 		}
@@ -211,6 +233,50 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 			Total  uint64  `json:"total"`
 			Traces []Trace `json:"traces"`
 		}{cfg.Traces.Total(), traces})
+	})
+
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		n, ok := queryCount(w, q.Get("n"), "spans")
+		if !ok {
+			return
+		}
+		sq := SpanQuery{
+			N:            n,
+			Host:         q.Get("host"),
+			WarningsOnly: boolParam(q.Get("warnings")),
+			Kind:         q.Get("kind"),
+		}
+		if t := q.Get("trace"); t != "" {
+			if sq.TraceID = ParseSpanID(t); sq.TraceID == 0 {
+				http.Error(w, "spans: trace must be a hex span id", http.StatusBadRequest)
+				return
+			}
+		}
+		spans := cfg.Spans.Query(sq)
+		if spans == nil {
+			spans = []Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Total uint64 `json:"total"`
+			Spans []Span `json:"spans"`
+		}{cfg.Spans.Total(), spans})
+	})
+
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		statuses := cfg.SLO.Statuses()
+		if statuses == nil {
+			statuses = []SLOStatus{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			SLOs []SLOStatus `json:"slos"`
+		}{statuses})
 	})
 
 	health := func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAdminMuxSpansAndSLO covers the span/SLO half of the admin surface:
+// /spans with its filter set (?n=, ?host=, ?warnings=1, ?trace=, ?kind=),
+// the /traces filters that arrived with it, and /slo.
+func TestAdminMuxSpansAndSLO(t *testing.T) {
+	clk := &fakeClock{ns: int64(time.Hour)}
+	spans := NewSpanRing(16)
+	spans.Add(Span{TraceID: 0x10, Kind: KindDecision, Host: "vpe01", Sampled: true,
+		TotalNS: 1000, Stages: StageDurations{QueueNS: 400, SigtreeNS: 300, ScoreNS: 200, VerdictNS: 100}})
+	spans.Add(Span{TraceID: 0x11, Kind: KindDecision, Host: "vpe02", Warning: true, TotalNS: 900})
+	spans.Add(Span{TraceID: 0x12, Kind: KindCheckpoint, Sampled: true, TotalNS: 5000,
+		Stages: StageDurations{CheckpointNS: 5000}})
+
+	traces := NewTraceRing(8)
+	traces.Add(Trace{Host: "vpe01", Score: 2})
+	traces.Add(Trace{Host: "vpe02", Score: 9, Warning: true})
+
+	slos := NewSLOSet()
+	lat := slos.Add(SLOConfig{Name: "accept_verdict_latency", Target: 0.99, NowNS: clk.now})
+	lat.RecordN(50, 50)
+
+	mux := NewAdminMux(AdminConfig{Traces: traces, Spans: spans, SLO: slos})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+	getSpans := func(path string) (uint64, []Span) {
+		t.Helper()
+		code, body := get(path)
+		if code != 200 {
+			t.Fatalf("%s: %d\n%s", path, code, body)
+		}
+		var doc struct {
+			Total uint64 `json:"total"`
+			Spans []Span `json:"spans"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("%s: %v\n%s", path, err, body)
+		}
+		return doc.Total, doc.Spans
+	}
+
+	if total, sp := getSpans("/spans"); total != 3 || len(sp) != 3 || sp[0].TraceID != 0x12 {
+		t.Fatalf("/spans = total %d, %+v", total, sp)
+	}
+	if _, sp := getSpans("/spans?n=1"); len(sp) != 1 || sp[0].Kind != KindCheckpoint {
+		t.Fatalf("/spans?n=1 = %+v", sp)
+	}
+	if _, sp := getSpans("/spans?host=vpe01"); len(sp) != 1 || sp[0].TraceID != 0x10 {
+		t.Fatalf("host filter = %+v", sp)
+	}
+	if _, sp := getSpans("/spans?warnings=1"); len(sp) != 1 || sp[0].TraceID != 0x11 {
+		t.Fatalf("warnings filter = %+v", sp)
+	}
+	if _, sp := getSpans("/spans?kind=checkpoint"); len(sp) != 1 || sp[0].Stages.CheckpointNS != 5000 {
+		t.Fatalf("kind filter = %+v", sp)
+	}
+	// Exemplar resolution: the hex trace ID from a /metrics exemplar label
+	// resolves to its span.
+	if _, sp := getSpans("/spans?trace=0000000000000010"); len(sp) != 1 || sp[0].Host != "vpe01" {
+		t.Fatalf("trace filter = %+v", sp)
+	}
+	if code, _ := get("/spans?trace=garbage"); code != 400 {
+		t.Fatalf("garbage trace should 400, got %d", code)
+	}
+	if code, _ := get("/spans?n=-1"); code != 400 {
+		t.Fatalf("bad n should 400, got %d", code)
+	}
+
+	// /traces filters ride the same query grammar.
+	code, body := get("/traces?host=vpe02&warnings=1")
+	if code != 200 {
+		t.Fatalf("/traces filter: %d", code)
+	}
+	var tdoc struct {
+		Traces []Trace `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &tdoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(tdoc.Traces) != 1 || tdoc.Traces[0].Host != "vpe02" || !tdoc.Traces[0].Warning {
+		t.Fatalf("/traces filter = %+v", tdoc.Traces)
+	}
+	if code, body := get("/traces?warnings=0"); code != 200 || !strings.Contains(body, "vpe01") {
+		t.Fatalf("warnings=0 should not filter: %d\n%s", code, body)
+	}
+
+	// /slo: the objective's multi-window evaluation, burning at ratio 0.5.
+	code, body = get("/slo")
+	if code != 200 {
+		t.Fatalf("/slo: %d", code)
+	}
+	var sdoc struct {
+		SLOs []SLOStatus `json:"slos"`
+	}
+	if err := json.Unmarshal([]byte(body), &sdoc); err != nil {
+		t.Fatalf("/slo JSON: %v\n%s", err, body)
+	}
+	if len(sdoc.SLOs) != 1 || sdoc.SLOs[0].Name != "accept_verdict_latency" {
+		t.Fatalf("/slo = %+v", sdoc.SLOs)
+	}
+	if !sdoc.SLOs[0].Fast.Burning || sdoc.SLOs[0].Fast.Bad != 50 {
+		t.Fatalf("/slo fast window = %+v", sdoc.SLOs[0].Fast)
+	}
+}
+
+// TestAdminMuxSpansAbsent pins graceful degradation: a mux built without
+// span/SLO backends still serves the endpoints.
+func TestAdminMuxSpansAbsent(t *testing.T) {
+	srv := httptest.NewServer(NewAdminMux(AdminConfig{}))
+	defer srv.Close()
+	for _, path := range []string{"/spans", "/slo"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s without backend: %d", path, resp.StatusCode)
+		}
+	}
+}

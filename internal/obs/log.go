@@ -49,11 +49,114 @@ type Logger struct {
 	w     io.Writer
 	level Level
 	now   func() time.Time
+
+	// Rate limiting for hot-path warning lines (WarnLimited). Guarded by
+	// mu; nil buckets means unlimited.
+	rateLimit  float64 // tokens refilled per second
+	rateBurst  float64
+	buckets    map[string]*logBucket
+	suppressed *Counter
 }
+
+// logBucket is one key's token bucket.
+type logBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxLogBuckets bounds the per-key bucket map; when full, the sweep drops
+// buckets idle long enough to have fully refilled (forgetting them is
+// equivalent to a full bucket).
+const maxLogBuckets = 1024
 
 // NewLogger returns a logger writing lines at or above level to w.
 func NewLogger(w io.Writer, level Level) *Logger {
 	return &Logger{w: w, level: level, now: time.Now}
+}
+
+// SetRateLimit enables per-key rate limiting for WarnLimited: each key may
+// emit at most burst lines at once and refills at perSec lines per second.
+// Suppressed lines increment the suppressed counter (nil-safe). perSec <= 0
+// disables limiting.
+func (l *Logger) SetRateLimit(perSec float64, burst int, suppressed *Counter) {
+	if l == nil {
+		return
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	l.mu.Lock()
+	l.rateLimit = perSec
+	l.rateBurst = float64(burst)
+	l.suppressed = suppressed
+	if perSec > 0 {
+		l.buckets = make(map[string]*logBucket)
+	} else {
+		l.buckets = nil
+	}
+	l.mu.Unlock()
+}
+
+// WarnLimited logs at warn level subject to the per-key token bucket set by
+// SetRateLimit; without a configured limit it behaves exactly like Warn.
+// Use it on warning paths that can fire per-message (anomaly warnings, shed
+// notices) so a misbehaving vPE cannot flood the log: the first burst lines
+// per key pass, the rest are counted in log_suppressed_total instead.
+func (l *Logger) WarnLimited(key, msg string, kv ...any) {
+	if !l.Enabled(LevelWarn) {
+		return
+	}
+	if !l.allow(key) {
+		return
+	}
+	l.log(LevelWarn, msg, kv)
+}
+
+// allow takes one token from key's bucket, reporting whether the line may
+// be emitted. Unlimited loggers always allow.
+func (l *Logger) allow(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.rateLimit <= 0 {
+		return true
+	}
+	now := l.now()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxLogBuckets {
+			l.sweepLocked(now)
+		}
+		b = &logBucket{tokens: l.rateBurst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rateLimit
+		if b.tokens > l.rateBurst {
+			b.tokens = l.rateBurst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		l.suppressed.Inc()
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweepLocked evicts buckets idle long enough to have refilled completely.
+// If none qualify (burst of brand-new keys), it drops everything — losing a
+// bucket only resets that key to a full burst, which is an acceptable
+// failure mode for a bound on memory.
+func (l *Logger) sweepLocked(now time.Time) {
+	refill := time.Duration(l.rateBurst / l.rateLimit * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= refill {
+			delete(l.buckets, k)
+		}
+	}
+	if len(l.buckets) >= maxLogBuckets {
+		l.buckets = make(map[string]*logBucket)
+	}
 }
 
 // SetNow overrides the timestamp source (tests).

@@ -112,6 +112,20 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last = +Inf overflow
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	// exemplars holds the latest exemplar per bucket (len(bounds)+1,
+	// same layout as counts); entries are nil until ObserveExemplar
+	// lands one in that bucket.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the trace that produced it, linking
+// a histogram bucket on /metrics to a span on /spans. Only sampled
+// observations record exemplars, so the allocation per store is off the
+// common path by construction.
+type Exemplar struct {
+	TraceID SpanID    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"time"`
 }
 
 // newHistogram validates and copies the bounds (strictly increasing,
@@ -126,9 +140,21 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
+}
+
+// bucketIndex finds v's bucket. Linear scan: bucket counts are small
+// (≤ ~20) and the scan is branch-predictable; a binary search costs more
+// in practice here.
+func (h *Histogram) bucketIndex(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
 }
 
 // Observe records one value.
@@ -136,13 +162,7 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	// Linear scan: bucket counts are small (≤ ~20) and the scan is
-	// branch-predictable; a binary search costs more in practice here.
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i].Add(1)
+	h.counts[h.bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
@@ -150,6 +170,42 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and attaches the trace that produced
+// it as the bucket's exemplar (latest wins). Call it only for sampled
+// observations: the exemplar store allocates.
+func (h *Histogram) ObserveExemplar(v float64, id SpanID) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if id != 0 {
+		h.exemplars[h.bucketIndex(v)].Store(&Exemplar{TraceID: id, Value: v, Time: time.Now()})
+	}
+}
+
+// ObserveDurationExemplar records seconds elapsed since start (from
+// Start) with an exemplar.
+func (h *Histogram) ObserveDurationExemplar(start time.Time, id SpanID) {
+	if h == nil {
+		return
+	}
+	h.ObserveExemplar(time.Since(start).Seconds(), id)
+}
+
+// Exemplars returns each bucket's latest exemplar (nil where none
+// landed); the final entry is the +Inf overflow bucket's, so the slice is
+// len(bounds)+1 like Buckets counts.
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Start returns a start time for ObserveDuration, or the zero time on a

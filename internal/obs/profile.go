@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// BurnProfiler captures a CPU profile to disk when an SLO fast window
+// starts burning, so the cause of a latency regression is on disk before
+// anyone is paged — by the time an operator looks, the burst is usually
+// over. Captures are single-flight (Go allows one CPU profile at a time)
+// and rate-limited by a cooldown so a sustained burn produces one profile
+// per cooldown, not one per evaluation tick.
+type BurnProfiler struct {
+	dir      string
+	duration time.Duration
+	cooldown time.Duration
+	log      *Logger
+
+	// captures/failures are exported via Export; nil-safe no-ops.
+	captures *Counter
+	failures *Counter
+
+	mu     sync.Mutex
+	active bool
+	last   time.Time
+	seq    int
+}
+
+// NewBurnProfiler writes duration-long CPU profiles into dir, at most one
+// per cooldown. duration <= 0 defaults to 5s, cooldown <= 0 to 10m.
+func NewBurnProfiler(dir string, duration, cooldown time.Duration, log *Logger) *BurnProfiler {
+	if duration <= 0 {
+		duration = 5 * time.Second
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Minute
+	}
+	return &BurnProfiler{dir: dir, duration: duration, cooldown: cooldown, log: log}
+}
+
+// Export registers the profiler's counters in reg.
+func (p *BurnProfiler) Export(reg *Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.captures = reg.Counter("slo_burn_profiles_total", "CPU profiles captured on SLO fast-window burn.")
+	p.failures = reg.Counter("slo_burn_profile_failures_total", "Burn-profile captures that failed to start or write.")
+}
+
+// MaybeCapture starts a capture if none is active and the cooldown has
+// passed; it returns the profile path when a capture was started ("" when
+// skipped). The capture runs on its own goroutine and stops itself after
+// the configured duration — callers never block on it. A nil profiler
+// skips everything.
+func (p *BurnProfiler) MaybeCapture(reason string) string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	if p.active || (!p.last.IsZero() && time.Since(p.last) < p.cooldown) {
+		p.mu.Unlock()
+		return ""
+	}
+	p.active = true
+	p.last = time.Now()
+	p.seq++
+	path := filepath.Join(p.dir, fmt.Sprintf("burn-%03d-%d.pprof", p.seq, p.last.Unix()))
+	p.mu.Unlock()
+
+	release := func() {
+		p.mu.Lock()
+		p.active = false
+		p.mu.Unlock()
+	}
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		p.failures.Inc()
+		p.log.Error("burn profile: mkdir failed", "dir", p.dir, "err", err)
+		release()
+		return ""
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		p.failures.Inc()
+		p.log.Error("burn profile: create failed", "path", path, "err", err)
+		release()
+		return ""
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another profile is already running (e.g. /debug/pprof/profile);
+		// theirs will show the burn too.
+		p.failures.Inc()
+		p.log.Warn("burn profile: start refused", "path", path, "err", err)
+		f.Close()
+		os.Remove(path)
+		release()
+		return ""
+	}
+	p.captures.Inc()
+	p.log.Warn("burn profile: capturing", "path", path, "duration", p.duration, "reason", reason)
+	go func() {
+		defer release()
+		time.Sleep(p.duration)
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			p.failures.Inc()
+			p.log.Error("burn profile: close failed", "path", path, "err", err)
+			return
+		}
+		p.log.Info("burn profile: written", "path", path)
+	}()
+	return path
+}

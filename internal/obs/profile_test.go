@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestBurnProfilerCapture(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	p := NewBurnProfiler(dir, 50*time.Millisecond, time.Hour, NewLogger(io.Discard, LevelError))
+	p.Export(reg)
+
+	path := p.MaybeCapture("accept_verdict_latency")
+	if path == "" {
+		t.Fatal("first capture skipped")
+	}
+	// Single-flight + cooldown: a second trigger during or right after the
+	// capture is a no-op.
+	if again := p.MaybeCapture("accept_verdict_latency"); again != "" {
+		t.Fatalf("second capture started: %s", again)
+	}
+
+	// The capture goroutine stops the profile and closes the file.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+			p.mu.Lock()
+			active := p.active
+			p.mu.Unlock()
+			if !active {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("profile %s never finished", path)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if reg.Snapshot().Counters["slo_burn_profiles_total"] != 1 {
+		t.Fatal("capture counter not incremented")
+	}
+
+	var nilP *BurnProfiler
+	if nilP.MaybeCapture("x") != "" {
+		t.Fatal("nil profiler captured")
+	}
+}

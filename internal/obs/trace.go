@@ -87,7 +87,12 @@ func (r *TraceRing) Total() uint64 {
 
 // Recent returns up to n traces, newest first. n <= 0 means everything
 // retained.
-func (r *TraceRing) Recent(n int) []Trace {
+func (r *TraceRing) Recent(n int) []Trace { return r.Filtered(n, "", false) }
+
+// Filtered returns up to n traces newest first, keeping only those for
+// host (when non-empty) and, with warningsOnly, only verdicts that
+// emitted a warning. n <= 0 means every match retained.
+func (r *TraceRing) Filtered(n int, host string, warningsOnly bool) []Trace {
 	if r == nil {
 		return nil
 	}
@@ -97,12 +102,19 @@ func (r *TraceRing) Recent(n int) []Trace {
 	if have > len(r.buf) {
 		have = len(r.buf)
 	}
-	if n <= 0 || n > have {
-		n = have
-	}
-	out := make([]Trace, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, r.buf[(r.next-1-uint64(i))%uint64(len(r.buf))])
+	var out []Trace
+	for i := 0; i < have; i++ {
+		t := &r.buf[(r.next-1-uint64(i))%uint64(len(r.buf))]
+		if host != "" && t.Host != host {
+			continue
+		}
+		if warningsOnly && !t.Warning {
+			continue
+		}
+		out = append(out, *t)
+		if n > 0 && len(out) >= n {
+			break
+		}
 	}
 	return out
 }

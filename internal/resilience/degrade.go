@@ -47,6 +47,11 @@ type Sample struct {
 	// IOFaults is the cumulative durable-I/O failure count (checkpoint +
 	// spool write failures); per-evaluation delta, like ScoringFaults.
 	IOFaults uint64
+	// SLOFastBurn reports that at least one SLO's fast window is burning
+	// above its threshold — the budget-spend early-warning the obs layer
+	// evaluates; the controller sheds learning on it (scoring is the duty
+	// the SLOs protect).
+	SLOFastBurn bool
 }
 
 // DegraderConfig tunes the controller; zero values take the defaults.
@@ -156,6 +161,9 @@ func (d *Degrader) Eval(s Sample) Mode {
 	case ioDelta >= d.cfg.IOFaultBurst:
 		want = ModeShedLearning
 		reason = "durable I/O faulting"
+	case s.SLOFastBurn:
+		want = ModeShedLearning
+		reason = "SLO fast window burning"
 	}
 
 	switch {
@@ -166,7 +174,7 @@ func (d *Degrader) Eval(s Sample) Mode {
 	default:
 		// Recovery: only samples that are clean for the *current* mode's
 		// trigger count, and the queue must actually have drained.
-		if s.QueueFrac <= d.cfg.RecoverAt && scoreDelta == 0 && ioDelta == 0 {
+		if s.QueueFrac <= d.cfg.RecoverAt && scoreDelta == 0 && ioDelta == 0 && !s.SLOFastBurn {
 			d.clean++
 			if d.clean >= d.cfg.RecoverEvals {
 				d.transition(d.mode-1, "recovered")
