@@ -99,7 +99,7 @@ func main() {
 	flag.StringVar(&o.admin, "admin", "", "admin HTTP listen address serving /metrics, /statusz, /traces, /healthz, /readyz, /debug/pprof (empty disables)")
 	flag.IntVar(&o.traceBuf, "trace-buffer", 256, "decision traces retained for /traces")
 	flag.IntVar(&o.spanBuf, "span-buffer", 512, "pipeline spans retained for /spans")
-	flag.IntVar(&o.spanSample, "span-sample", 16, "stage-clock sampling: 1 in N accepted messages carries a full span stage breakdown (warnings always get a span); 0 disables sampling")
+	flag.IntVar(&o.spanSample, "span-sample", 16, "stage-clock sampling: 1 in N accepted messages carries a full span stage breakdown (warnings always get a span); 0 disables sampling — and with it the accept_verdict_latency SLO, which only observes sampled verdicts (/slo marks it inactive)")
 	flag.DurationVar(&o.sloLatency, "slo-latency", 250*time.Millisecond, "accept→verdict latency bound for the accept_verdict_latency SLO")
 	flag.StringVar(&o.burnDir, "profile-on-burn", "", "directory for CPU profiles captured when an SLO fast window starts burning (empty disables)")
 	flag.BoolVar(&o.verbose, "v", false, "verbose (debug-level) logging")

@@ -120,8 +120,10 @@ func (m *Monitor) Checkpoint(w io.Writer) error {
 	m.ckptSaves.Inc()
 	if m.cfg.Tracer != nil {
 		// Checkpoints hold every shard lock; a span makes their cost
-		// visible next to the decision latencies they stall.
-		id, _ := m.cfg.Tracer.Accept()
+		// visible next to the decision latencies they stall. MintID, not
+		// Accept: a checkpoint is not an accepted message and must not
+		// consume a sampling slot.
+		id := m.cfg.Tracer.MintID()
 		total := int64(time.Since(spanStart))
 		m.cfg.Tracer.Emit(obs.Span{
 			TraceID: id,

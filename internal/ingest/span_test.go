@@ -118,13 +118,22 @@ func TestMonitorDecisionSpansSync(t *testing.T) {
 	if !checked {
 		t.Fatal("no exemplar landed on any histogram")
 	}
-	// The exemplar suffix shows up in the exposition text.
+	// The exemplar suffix shows up in the OpenMetrics exposition — and
+	// only there: the 0.0.4 text parser has no exemplar syntax, so the
+	// plain exposition must stay free of mid-line '#'.
 	var buf bytes.Buffer
-	if err := reg.WritePrometheus(&buf); err != nil {
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `# {trace_id="`) {
-		t.Fatal("exposition carries no exemplar suffix")
+		t.Fatal("OpenMetrics exposition carries no exemplar suffix")
+	}
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `# {trace_id="`) {
+		t.Fatal("0.0.4 exposition leaked an exemplar suffix")
 	}
 
 	// Every verdict hit the latency SLO (generous bound: all good).
@@ -404,10 +413,10 @@ func TestSpanOverhead(t *testing.T) {
 	}
 }
 
-// TestConcurrentMetricsScrapeDuringScoring hammers /metrics rendering
-// (WritePrometheus walks every histogram, including exemplar pointers)
-// while shard workers score traced traffic — the -race gate for the
-// exemplar and span plumbing on the hot path.
+// TestConcurrentMetricsScrapeDuringScoring hammers /metrics rendering in
+// both expositions (WriteOpenMetrics walks every histogram's exemplar
+// pointers) while shard workers score traced traffic — the -race gate
+// for the exemplar and span plumbing on the hot path.
 func TestConcurrentMetricsScrapeDuringScoring(t *testing.T) {
 	tree, det := trainMonitorDetector(t)
 	resolve := func(string) *detect.LSTMDetector { return det }
@@ -431,6 +440,11 @@ func TestConcurrentMetricsScrapeDuringScoring(t *testing.T) {
 			}
 			var buf bytes.Buffer
 			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			buf.Reset()
+			if err := reg.WriteOpenMetrics(&buf); err != nil {
 				t.Error(err)
 				return
 			}

@@ -512,7 +512,7 @@ func (m *Manager) runCycle(force bool) CycleResult {
 	}
 	res, err := m.cycleBody(force)
 	if m.cfg.Tracer != nil {
-		id, _ := m.cfg.Tracer.Accept()
+		id := m.cfg.Tracer.MintID()
 		m.cfg.Tracer.Emit(obs.Span{
 			TraceID: id,
 			Kind:    obs.KindAdaptation,

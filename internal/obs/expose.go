@@ -45,15 +45,14 @@ func formatValue(v float64) string {
 	}
 }
 
-// formatExemplar renders a bucket exemplar as an OpenMetrics-style suffix:
+// formatExemplar renders a bucket exemplar as an OpenMetrics suffix:
 //
 //	monitor_handle_seconds_bucket{le="0.001"} 5 # {trace_id="00ab..."} 0.00093 1520012345.123
 //
-// The classic 0.0.4 text format has no exemplar syntax; this is the
-// OpenMetrics form, which Prometheus accepts when exemplar storage is on
-// and the repo's own /spans resolver consumes directly. Buckets without a
-// recorded exemplar render nothing, keeping plain scrapes byte-identical
-// to the pre-exemplar exposition.
+// The classic 0.0.4 text format has no exemplar syntax — its parser
+// treats a mid-line '#' as an error — so exemplars render only in the
+// OpenMetrics exposition (WriteOpenMetrics), never in WritePrometheus.
+// Buckets without a recorded exemplar render nothing.
 func formatExemplar(e *Exemplar) string {
 	if e == nil {
 		return ""
@@ -62,20 +61,56 @@ func formatExemplar(e *Exemplar) string {
 		e.TraceID.String(), formatValue(e.Value), float64(e.Time.UnixNano())/1e9)
 }
 
+// counterNames returns the family and sample names for a counter in the
+// OpenMetrics exposition, where a counter family is named without the
+// _total suffix and its sample carries it: a registered
+// foo_total{k="v"} becomes family foo, sample foo_total{k="v"}, and a
+// counter registered without the suffix gains it on the sample line. The
+// strict OpenMetrics parser rejects counter samples not suffixed _total
+// relative to their TYPE line, so this rewrite is what keeps a
+// negotiated scrape parseable.
+func counterNames(name string) (family, sample string) {
+	base := baseName(name)
+	family = strings.TrimSuffix(base, "_total")
+	return family, family + "_total" + name[len(base):]
+}
+
 // WritePrometheus writes every registered metric in the Prometheus text
 // exposition format (version 0.0.4), in name order. Histograms emit
 // cumulative le-labelled buckets plus _sum and _count, matching what a
 // Prometheus scraper expects of a native histogram series. LabelName
 // series share one HELP/TYPE header per family (name order keeps a
 // family's labelled series adjacent: '{' sorts after every valid metric
-// name character).
+// name character). The 0.0.4 exposition is exemplar-free; clients that
+// negotiate OpenMetrics (see WriteOpenMetrics) get exemplars.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeText(w, false)
+}
+
+// WriteOpenMetrics writes the OpenMetrics exposition: counter families
+// named without their _total suffix, histogram buckets carrying their
+// trace-ID exemplars, and the mandatory terminal # EOF. Serve it only
+// under Content-Type application/openmetrics-text (negotiated via the
+// Accept header); the 0.0.4 parser cannot read exemplar suffixes.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeText(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeText(w io.Writer, openMetrics bool) error {
 	if r == nil {
 		return nil
 	}
 	lastFamily := ""
 	for _, m := range r.sorted() {
 		family := baseName(m.name)
+		sample := m.name
+		if openMetrics && m.kind == kindCounter {
+			family, sample = counterNames(m.name)
+		}
 		if family != lastFamily {
 			lastFamily = family
 			if m.help != "" {
@@ -99,23 +134,32 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		var err error
 		switch m.kind {
 		case kindCounter:
-			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
+			_, err = fmt.Fprintf(w, "%s %d\n", sample, m.c.Value())
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.g.Value()))
 		case kindHistogram:
 			bounds, counts := m.h.Buckets()
-			exemplars := m.h.Exemplars()
+			var exemplars []*Exemplar
+			if openMetrics {
+				exemplars = m.h.Exemplars()
+			}
+			exemplar := func(i int) string {
+				if exemplars == nil {
+					return ""
+				}
+				return formatExemplar(exemplars[i])
+			}
 			var cum uint64
 			for i, b := range bounds {
 				cum += counts[i]
 				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n",
-					m.name, formatValue(b), cum, formatExemplar(exemplars[i])); err != nil {
+					m.name, formatValue(b), cum, exemplar(i)); err != nil {
 					return err
 				}
 			}
 			cum += counts[len(counts)-1]
 			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n",
-				m.name, cum, formatExemplar(exemplars[len(exemplars)-1])); err != nil {
+				m.name, cum, exemplar(len(counts)-1)); err != nil {
 				return err
 			}
 			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
@@ -179,9 +223,10 @@ func (r *Registry) Snapshot() Snapshot {
 				Sum:    m.h.Sum(),
 				Count:  m.h.Count(),
 			}
-			for _, e := range m.h.Exemplars() {
+			exemplars := m.h.Exemplars()
+			for _, e := range exemplars {
 				if e != nil {
-					hs.Exemplars = m.h.Exemplars()
+					hs.Exemplars = exemplars
 					break
 				}
 			}

@@ -186,6 +186,19 @@ func boolParam(raw string) bool {
 	return raw != "" && raw != "0" && !strings.EqualFold(raw, "false")
 }
 
+// wantsOpenMetrics reports whether a /metrics scrape negotiated the
+// OpenMetrics exposition — an Accept header naming
+// application/openmetrics-text (what Prometheus sends when exemplar
+// scraping is on) or an explicit ?format=openmetrics for curl use. The
+// 0.0.4 text parser has no exemplar syntax, so exemplars render only
+// when the client asked for a format whose parser can read them.
+func wantsOpenMetrics(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "openmetrics" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}
+
 // NewAdminMux builds the admin HTTP handler: /metrics, /statusz, /traces,
 // /spans, /slo, /healthz, /readyz, and the pprof suite under
 // /debug/pprof/. It is its own mux (never http.DefaultServeMux) so
@@ -194,13 +207,17 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Query().Get("format") == "json" {
+		switch {
+		case r.URL.Query().Get("format") == "json":
 			w.Header().Set("Content-Type", "application/json")
 			cfg.Registry.WriteJSON(w)
-			return
+		case wantsOpenMetrics(r):
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			cfg.Registry.WriteOpenMetrics(w)
+		default:
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			cfg.Registry.WritePrometheus(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		cfg.Registry.WritePrometheus(w)
 	})
 
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {

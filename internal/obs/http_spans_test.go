@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -121,6 +122,66 @@ func TestAdminMuxSpansAndSLO(t *testing.T) {
 	}
 	if !sdoc.SLOs[0].Fast.Burning || sdoc.SLOs[0].Fast.Bad != 50 {
 		t.Fatalf("/slo fast window = %+v", sdoc.SLOs[0].Fast)
+	}
+}
+
+// TestMetricsExemplarNegotiation pins the /metrics content negotiation:
+// a plain scrape gets the 0.0.4 exposition with no exemplar suffixes
+// (the 0.0.4 parser rejects mid-line '#', so one exemplar would cost the
+// scrape every metric), while an Accept header naming
+// application/openmetrics-text — or ?format=openmetrics — gets the
+// OpenMetrics exposition with exemplars and the terminal # EOF.
+func TestMetricsExemplarNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("handle_seconds", "Handle latency.", []float64{0.1, 1})
+	h.ObserveExemplar(0.5, SpanID(0xab))
+
+	srv := httptest.NewServer(NewAdminMux(AdminConfig{Registry: reg}))
+	defer srv.Close()
+
+	get := func(accept, query string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", srv.URL+"/metrics"+query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.Header.Get("Content-Type"), buf.String()
+	}
+
+	ct, body := get("", "")
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("plain scrape content type = %q", ct)
+	}
+	if strings.Contains(body, `# {trace_id=`) || strings.Contains(body, "# EOF") {
+		t.Fatalf("plain scrape not 0.0.4-clean:\n%s", body)
+	}
+
+	// Prometheus's exemplar-aware scrape and the curl-friendly query
+	// parameter both negotiate OpenMetrics.
+	for _, req := range [][2]string{
+		{"application/openmetrics-text; version=1.0.0", ""},
+		{"", "?format=openmetrics"},
+	} {
+		ct, body = get(req[0], req[1])
+		if !strings.Contains(ct, "application/openmetrics-text") {
+			t.Fatalf("negotiated content type = %q", ct)
+		}
+		if !strings.Contains(body, `# {trace_id="00000000000000ab"}`) {
+			t.Fatalf("OpenMetrics scrape carries no exemplar:\n%s", body)
+		}
+		if !strings.HasSuffix(body, "# EOF\n") {
+			t.Fatalf("OpenMetrics scrape not # EOF-terminated:\n%s", body)
+		}
 	}
 }
 

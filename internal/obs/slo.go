@@ -220,6 +220,11 @@ type SLOStatus struct {
 	// Burning is the paging condition: both windows burning at once
 	// (fast alone can be a blip; slow alone is an old burn draining).
 	Burning bool `json:"burning"`
+	// Inactive marks an objective whose windows saw zero events: it is
+	// measuring nothing, not reporting health. The latency objective goes
+	// inactive when span sampling is off (-span-sample 0), since only
+	// sampled verdicts feed it.
+	Inactive bool `json:"inactive,omitempty"`
 }
 
 func (s *SLO) windowStatus(w *burnWindow, span time.Duration, threshold, budget float64, nowNS int64) WindowStatus {
@@ -248,6 +253,7 @@ func (s *SLO) Status() SLOStatus {
 		Slow:        s.windowStatus(s.slow, s.cfg.SlowWindow, s.cfg.SlowBurn, budget, now),
 	}
 	st.Burning = st.Fast.Burning && st.Slow.Burning
+	st.Inactive = st.Fast.Good+st.Fast.Bad+st.Slow.Good+st.Slow.Bad == 0
 	return st
 }
 

@@ -67,6 +67,15 @@ func TestSLOEmptyWindow(t *testing.T) {
 	if st.Fast.BadRatio != 0 || st.Fast.BurnRate != 0 || st.Fast.Burning {
 		t.Fatalf("empty window = %+v", st.Fast)
 	}
+	// Zero events is marked inactive — "burn 0" here means "measuring
+	// nothing" (e.g. the latency SLO with -span-sample 0), not healthy.
+	if !st.Inactive {
+		t.Fatalf("zero-event objective not marked inactive: %+v", st)
+	}
+	s.Record(true)
+	if st := s.Status(); st.Inactive {
+		t.Fatalf("objective with events marked inactive: %+v", st)
+	}
 	var nilS *SLO
 	nilS.Record(true)
 	nilS.RecordN(1, 2)

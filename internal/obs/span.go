@@ -233,6 +233,9 @@ type Tracer struct {
 	n, m uint64
 	base uint64
 	ctr  atomic.Uint64
+	// aux mints IDs for out-of-band spans (MintID); separate from ctr so
+	// maintenance spans never consume a message-sampling slot.
+	aux atomic.Uint64
 
 	// spans/sampled count emissions for the tracing metric family; nil
 	// (no-op) when the tracer is not exported into a registry.
@@ -290,6 +293,19 @@ func (t *Tracer) Accept() (SpanID, bool) {
 		t.sampled.Inc()
 	}
 	return SpanID(t.base | (c & 0xffffffffff)), sampled
+}
+
+// MintID mints a trace ID for an out-of-band span — checkpoint or
+// adaptation — without touching the message-sampling state: the N-in-M
+// rotation keeps its phase and trace_sampled_total still counts only
+// accepted messages. IDs descend from the top of the 40-bit counter
+// space while Accept's ascend from the bottom, so the two sequences
+// cannot collide within a process lifetime.
+func (t *Tracer) MintID() SpanID {
+	if t == nil {
+		return 0
+	}
+	return SpanID(t.base | (^t.aux.Add(1) & 0xffffffffff))
 }
 
 // Emit records one finished span.

@@ -158,6 +158,46 @@ func TestTracerSampling(t *testing.T) {
 	}
 }
 
+// TestTracerMintID pins the out-of-band ID path: checkpoint/adaptation
+// spans mint IDs without consuming a message-sampling slot, so the N-in-M
+// rotation keeps its phase and trace_sampled_total counts only accepted
+// messages.
+func TestTracerMintID(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(NewSpanRing(8), 1, 4)
+	tr.Export(reg)
+
+	ids := make(map[SpanID]bool)
+	for i := 0; i < 4; i++ {
+		id := tr.MintID()
+		if id == 0 || ids[id] {
+			t.Fatalf("minted id %v (dup=%v)", id, ids[id])
+		}
+		ids[id] = true
+	}
+	if got := reg.Snapshot().Counters["trace_sampled_total"]; got != 0 {
+		t.Fatalf("MintID bumped trace_sampled_total to %d", got)
+	}
+	// The sampling rotation is unmoved: the first accepted message is
+	// still slot 0 of the 1-in-4 rotation, i.e. sampled.
+	for i := 0; i < 8; i++ {
+		id, sampled := tr.Accept()
+		if sampled != (i%4 == 0) {
+			t.Fatalf("accept %d sampled=%v after MintIDs: rotation phase moved", i, sampled)
+		}
+		if ids[id] {
+			t.Fatalf("accept ID %v collides with a minted ID", id)
+		}
+	}
+	if got := reg.Snapshot().Counters["trace_sampled_total"]; got != 2 {
+		t.Fatalf("trace_sampled_total = %d, want 2", got)
+	}
+	var nilT *Tracer
+	if nilT.MintID() != 0 {
+		t.Fatal("nil tracer minted an out-of-band ID")
+	}
+}
+
 func TestTracerBaseDistinguishesRestarts(t *testing.T) {
 	a := NewTracer(nil, 1, 1)
 	id, _ := a.Accept()
@@ -169,12 +209,16 @@ func TestTracerBaseDistinguishesRestarts(t *testing.T) {
 	}
 }
 
-// TestPrometheusExemplarGolden pins the exemplar exposition: sampled
-// buckets gain an OpenMetrics-style ` # {trace_id="..."} value ts` suffix,
-// and buckets without an exemplar render byte-identical to the
-// pre-exemplar format.
+// TestPrometheusExemplarGolden pins the two text expositions. The 0.0.4
+// format (WritePrometheus) is exemplar-free — its parser treats a
+// mid-line '#' as an error, so one exemplar suffix would cost a standard
+// scrape every metric. The negotiated OpenMetrics form (WriteOpenMetrics)
+// carries the ` # {trace_id="..."} value ts` suffix on exemplared
+// buckets, renames counter families without their _total suffix, and
+// ends with # EOF.
 func TestPrometheusExemplarGolden(t *testing.T) {
 	r := NewRegistry()
+	r.Counter("frames_total", "Accepted frames.").Add(7)
 	h := r.Histogram("handle_seconds", "Handle latency.", []float64{0.1, 1})
 	h.Observe(0.05) // bucket 0, no exemplar
 	h.ObserveExemplar(0.5, SpanID(0xab)) // bucket 1 with exemplar
@@ -188,16 +232,39 @@ func TestPrometheusExemplarGolden(t *testing.T) {
 	if err := r.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	want := fmt.Sprintf(`# HELP handle_seconds Handle latency.
+	want := `# HELP frames_total Accepted frames.
+# TYPE frames_total counter
+frames_total 7
+# HELP handle_seconds Handle latency.
+# TYPE handle_seconds histogram
+handle_seconds_bucket{le="0.1"} 1
+handle_seconds_bucket{le="1"} 3
+handle_seconds_bucket{le="+Inf"} 3
+handle_seconds_sum 1.15
+handle_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("0.0.4 exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	buf.Reset()
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want = fmt.Sprintf(`# HELP frames Accepted frames.
+# TYPE frames counter
+frames_total 7
+# HELP handle_seconds Handle latency.
 # TYPE handle_seconds histogram
 handle_seconds_bucket{le="0.1"} 1
 handle_seconds_bucket{le="1"} 3 # {trace_id="00000000000000ab"} 0.5 %.3f
 handle_seconds_bucket{le="+Inf"} 3
 handle_seconds_sum 1.15
 handle_seconds_count 3
+# EOF
 `, float64(ex[1].Time.UnixNano())/1e9)
 	if got := buf.String(); got != want {
-		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+		t.Fatalf("OpenMetrics exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 
 	// ID 0 must not allocate or attach an exemplar (the unsampled path).
