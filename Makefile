@@ -59,6 +59,7 @@ ci: build
 	$(GO) test ./internal/nn/ -run XXX -bench 'StepLogProbs' -benchtime=1x -benchmem
 	$(GO) test ./internal/mat/ -run XXX -bench 'MulMatAdd|MulVecAdd' -benchtime=1x -benchmem
 	$(GO) test ./internal/ingest/ -run XXX -bench 'MonitorHandleMessage$$|MonitorHandleMessageSpans$$' -benchtime=1x -benchmem
+	$(GO) test ./internal/ingest/ -run TestServingPathAllocGate -count=1 -v
 	NFV_SPAN_GATE=1 $(GO) test ./internal/ingest/ -run TestSpanOverhead -count=1 -v
 
 bench: bench-nn bench-pipeline bench-obs bench-serving
@@ -77,16 +78,21 @@ bench-serving:
 	$(GO) test ./internal/ingest/ -run XXX -bench 'MonitorHandleMessage|MonitorParallel|ShardSerialSection|ShardTokenize' -benchmem
 
 # Machine-readable serving benchmarks: runs the scoring-path benchmarks
-# (monitor, batched LSTM step, matvec kernels) and converts the output to
-# BENCH_serving.json via cmd/benchjson (ns/op, B/op, allocs/op, and a
-# derived msgs_per_sec = 1e9/ns for the per-message benchmarks).
+# (monitor, tokenize-and-match old vs interned, batched LSTM step, matvec
+# kernels) and converts the output to BENCH_serving.json via cmd/benchjson
+# (ns/op, B/op, allocs/op, a derived msgs_per_sec = 1e9/ns for the
+# per-message benchmarks, and b_per_op_delta against the committed
+# BENCH_serving.json). The result lands in a temp file first so the old
+# artifact is still readable as the baseline while the new one is built.
 bench-json:
 	{ $(GO) test ./internal/ingest/ -run XXX -bench 'MonitorHandleMessage|MonitorParallel|ShardSerialSection' -benchmem ; \
+	  $(GO) test ./internal/sigtree/ -run XXX -bench 'PrepareTokens|SigtreeMatch' -benchmem ; \
 	  $(GO) test ./internal/nn/ -run XXX -bench 'StepLogProbs' -benchmem ; \
 	  $(GO) test ./internal/mat/ -run XXX -bench 'MulVecAdd|MulMatAdd' -benchmem ; \
 	  $(GO) test ./internal/lifecycle/ -run XXX -bench 'AdaptationCycle' -benchmem -benchtime 5x ; \
 	  $(GO) test ./internal/chaos/ -run XXX -bench 'ChaosSoak' -benchtime 1x ; } \
-	| $(GO) run ./cmd/benchjson > BENCH_serving.json
+	| $(GO) run ./cmd/benchjson -baseline BENCH_serving.json > BENCH_serving.json.tmp
+	mv BENCH_serving.json.tmp BENCH_serving.json
 	@echo wrote BENCH_serving.json
 
 figures:

@@ -11,6 +11,11 @@
 //
 //	go test -bench . -benchmem ./... | benchjson > BENCH_serving.json
 //
+// With -baseline pointing at a previously committed output file, each row
+// that also appears in the baseline gains b_per_op_delta (this run's B/op
+// minus the baseline's), so allocation regressions show up as a positive
+// delta right in the artifact diff.
+//
 // Non-benchmark lines (goos/goarch headers, PASS/ok trailers) are ignored,
 // so piping full `go test` output is fine.
 package main
@@ -18,6 +23,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -42,6 +48,12 @@ type result struct {
 	// i.e. the tracing stack's cost ratio at the default 1-in-16
 	// sampling rate (1.0 = free; the ci gate holds it at ≤ 1.05).
 	SpanOverheadVsBase float64 `json:"span_overhead_vs_base,omitempty"`
+
+	// BPerOpDelta is this row's B/op minus the same benchmark's B/op in
+	// the -baseline file; present only when the baseline has the row. A
+	// pointer so a delta of exactly 0 (no allocation change) still shows,
+	// unlike the omitempty float fields.
+	BPerOpDelta *float64 `json:"b_per_op_delta,omitempty"`
 
 	// Extra holds any "value unit" pairs beyond the three standard ones,
 	// e.g. MB/s from SetBytes or custom ReportMetric units.
@@ -88,6 +100,39 @@ func deriveSpanOverhead(results []result) {
 			results[i].SpanOverheadVsBase = results[i].NsPerOp / base
 		}
 	}
+}
+
+// deriveBaselineDeltas fills BPerOpDelta on every row whose name appears
+// in base (a name → baseline B/op map).
+func deriveBaselineDeltas(results []result, base map[string]float64) {
+	for i := range results {
+		if old, ok := base[results[i].Name]; ok {
+			d := results[i].BPerOp - old
+			results[i].BPerOpDelta = &d
+		}
+	}
+}
+
+// loadBaseline reads a previous benchjson output file into a name → B/op
+// map. A missing baseline file is not an error — the first run of a fresh
+// checkout has nothing to diff against — but an unparseable one is.
+func loadBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var rows []result
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	base := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		base[r.Name] = r.BPerOp
+	}
+	return base, nil
 }
 
 // parseLine parses one benchmark result line of the form
@@ -138,6 +183,9 @@ func parseLine(line string) (result, bool) {
 }
 
 func main() {
+	baselinePath := flag.String("baseline", "",
+		"previous benchjson output to diff B/op against (adds b_per_op_delta)")
+	flag.Parse()
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -152,6 +200,14 @@ func main() {
 	}
 	deriveShardSpeedups(results)
 	deriveSpanOverhead(results)
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		deriveBaselineDeltas(results, base)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkMonitorHandleMessage-8 \t  500000\t      4412 ns/op\t     464 B/op\t      15 allocs/op")
@@ -85,6 +90,69 @@ func TestDeriveSpanOverheadNoBaseline(t *testing.T) {
 	deriveSpanOverhead(results)
 	if results[0].SpanOverheadVsBase != 0 {
 		t.Errorf("overhead without a baseline should stay 0, got %v", results[0].SpanOverheadVsBase)
+	}
+}
+
+func TestDeriveBaselineDeltas(t *testing.T) {
+	results := []result{
+		{Name: "BenchmarkMonitorHandleMessage", BPerOp: 0},
+		{Name: "BenchmarkStepLogProbs", BPerOp: 32},
+		{Name: "BenchmarkBrandNew", BPerOp: 8},
+	}
+	base := map[string]float64{
+		"BenchmarkMonitorHandleMessage": 464,
+		"BenchmarkStepLogProbs":         32,
+	}
+	deriveBaselineDeltas(results, base)
+	if results[0].BPerOpDelta == nil || *results[0].BPerOpDelta != -464 {
+		t.Errorf("HandleMessage delta = %v, want -464", results[0].BPerOpDelta)
+	}
+	if results[1].BPerOpDelta == nil || *results[1].BPerOpDelta != 0 {
+		t.Errorf("unchanged row delta = %v, want explicit 0", results[1].BPerOpDelta)
+	}
+	if results[2].BPerOpDelta != nil {
+		t.Errorf("row absent from baseline got a delta: %v", *results[2].BPerOpDelta)
+	}
+	// The zero delta must survive JSON encoding (the reason for the pointer).
+	out, err := json.Marshal(results[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["b_per_op_delta"]; !ok {
+		t.Errorf("zero delta dropped from JSON: %s", out)
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, []byte(`[
+		{"name": "BenchmarkMonitorHandleMessage", "b_per_op": 464, "allocs_per_op": 15}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base["BenchmarkMonitorHandleMessage"] != 464 {
+		t.Errorf("baseline = %v", base)
+	}
+	// Missing file: first run of a fresh checkout, not an error.
+	if base, err := loadBaseline(filepath.Join(dir, "absent.json")); err != nil || base != nil {
+		t.Errorf("missing baseline: base=%v err=%v", base, err)
+	}
+	// Corrupt file: an error, not silent no-deltas.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(bad); err == nil {
+		t.Error("corrupt baseline should error")
 	}
 }
 

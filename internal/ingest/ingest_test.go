@@ -356,6 +356,27 @@ func TestServerToMonitorEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServingPathAllocGate is the serving-path allocation contract: after
+// warm-up (host state created, templates learned, symbols interned, shard
+// scratch grown), HandleMessage averages at most 2 allocs per message.
+// The interned tokenize path actually runs at 0; the slack tolerates rare
+// amortized events (symbol-table republish, cluster-state turnover)
+// without flaking.
+func TestServingPathAllocGate(t *testing.T) {
+	mon, msg := spanBenchMonitor(t, false)
+	for i := 0; i < 200; i++ {
+		msg.Time = msg.Time.Add(time.Second)
+		mon.HandleMessage(msg)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		msg.Time = msg.Time.Add(time.Second)
+		mon.HandleMessage(msg)
+	})
+	if allocs > 2 {
+		t.Fatalf("HandleMessage allocates %.2f/op after warm-up, gate is 2", allocs)
+	}
+}
+
 func BenchmarkMonitorHandleMessage(b *testing.B) {
 	tree := sigtree.New()
 	texts := []string{

@@ -1,0 +1,73 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// refReadOctetLen is the pre-optimization readOctetLen — collect the
+// digits into a slice, then strconv.Atoi the string — kept as the
+// reference oracle for the in-place parser.
+func refReadOctetLen(r *bufio.Reader) (n int, ok bool, err error) {
+	var digits []byte
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, false, err
+		}
+		if b == ' ' {
+			break
+		}
+		if b < '0' || b > '9' || len(digits) >= maxOctetDigits {
+			return 0, false, nil
+		}
+		digits = append(digits, b)
+	}
+	if len(digits) == 0 || (digits[0] == '0' && len(digits) > 1) {
+		return 0, false, nil
+	}
+	v, convErr := strconv.Atoi(string(digits))
+	if convErr != nil {
+		return 0, false, nil
+	}
+	return v, true, nil
+}
+
+// FuzzReadOctetLen pins the in-place octet-count parser to the reference
+// implementation: same value, same ok/err verdict, same number of bytes
+// consumed from the stream (resync depends on it).
+func FuzzReadOctetLen(f *testing.F) {
+	seeds := []string{
+		"123 <28>Mar 14",
+		"0 x",
+		"00 x",
+		"007 x",
+		" x",
+		"9999999999 x",  // max digits, would overflow int32
+		"99999999999 x", // overlong: 11 digits
+		"12a x",
+		"1",   // EOF before the space
+		"123", // EOF mid-count
+		"4294967296 x",
+		"0123456789 x",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refR := bufio.NewReader(bytes.NewReader(data))
+		gotR := bufio.NewReader(bytes.NewReader(data))
+		wantN, wantOK, wantErr := refReadOctetLen(refR)
+		gotN, gotOK, gotErr := readOctetLen(gotR)
+		if gotN != wantN || gotOK != wantOK || (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("readOctetLen(%q) = (%d, %v, %v), reference = (%d, %v, %v)",
+				data, gotN, gotOK, gotErr, wantN, wantOK, wantErr)
+		}
+		if refR.Buffered() != gotR.Buffered() {
+			t.Fatalf("readOctetLen(%q) consumed %d bytes, reference consumed %d",
+				data, len(data)-gotR.Buffered(), len(data)-refR.Buffered())
+		}
+	})
+}

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"strconv"
 	"sync"
 	"time"
 
@@ -300,7 +299,10 @@ func (s *Server) enqueue(line []byte) {
 	if s.cfg.Tracer != nil {
 		accept = time.Now()
 	}
-	msg, err := logfmt.Parse3164(string(trimmed), s.cfg.Year)
+	// Byte-slice parse: the frame is copied into the Message exactly once
+	// (host onward); PRI and timestamp are decoded in place. The read
+	// buffer is free for reuse as soon as this returns.
+	msg, err := logfmt.Parse3164Bytes(trimmed, s.cfg.Year)
 	if err != nil {
 		s.malformed.Add(1)
 		return
@@ -520,8 +522,12 @@ const maxOctetDigits = 10
 // returns ok=false (with the bad digits consumed) when the field is
 // syntactically unusable: leading zero, more than maxOctetDigits digits,
 // or a non-space after the digits. err is an I/O error from the stream.
+// The value accumulates in place as digits stream by — no scratch slice,
+// no strconv round-trip through a string — and maxOctetDigits keeps the
+// accumulator far from int64 overflow.
 func readOctetLen(r *bufio.Reader) (n int, ok bool, err error) {
-	var digits []byte
+	v, nd := 0, 0
+	leadZero := false
 	for {
 		b, err := r.ReadByte()
 		if err != nil {
@@ -530,16 +536,16 @@ func readOctetLen(r *bufio.Reader) (n int, ok bool, err error) {
 		if b == ' ' {
 			break
 		}
-		if b < '0' || b > '9' || len(digits) >= maxOctetDigits {
+		if b < '0' || b > '9' || nd >= maxOctetDigits {
 			return 0, false, nil
 		}
-		digits = append(digits, b)
+		if nd == 0 && b == '0' {
+			leadZero = true
+		}
+		v = v*10 + int(b-'0')
+		nd++
 	}
-	if len(digits) == 0 || (digits[0] == '0' && len(digits) > 1) {
-		return 0, false, nil
-	}
-	v, convErr := strconv.Atoi(string(digits))
-	if convErr != nil {
+	if nd == 0 || (leadZero && nd > 1) {
 		return 0, false, nil
 	}
 	return v, true, nil

@@ -57,6 +57,12 @@ type shard struct {
 	// waveGen stamps hostState.mark during batch wave scheduling. Guarded
 	// by mu (only touched inside processBatchLocked).
 	waveGen uint64
+
+	// tb is the synchronous path's tokenize scratch (handleLocked): the
+	// symbol and lowercase buffers grow once and are reused per message.
+	// Guarded by mu like the rest of the per-shard state; the async path
+	// uses the worker-owned batchBuf scratch instead.
+	tb sigtree.TokenBuf
 }
 
 // batchBuf is one worker incarnation's scratch for batched scoring. It is
@@ -67,8 +73,16 @@ type shard struct {
 // warm-up a batch allocates only when the signature tree grows a new
 // template.
 type batchBuf struct {
-	msgs    []logfmt.Message
-	toks    [][]string
+	msgs []logfmt.Message
+	// syms is one arena of prepared symbols for the whole batch; symOff
+	// holds B+1 offsets into it (message i's symbols are
+	// syms[symOff[i]:symOff[i+1]]). symOK marks messages whose prepare
+	// succeeded on the interned path; the rest fall back to strings.
+	syms   []uint32
+	symOff []int
+	symOK  []bool
+	tb     sigtree.TokenBuf
+
 	tpls    []int
 	hss     []*hostState
 	done    []bool
@@ -104,10 +118,23 @@ func (sh *shard) handleLocked(msg logfmt.Message, sp *spanInfo) {
 	if sampled {
 		s0 = time.Now()
 	}
-	toks := sigtree.PrepareTokens(msg.Text)
-	m.treeMu.Lock()
-	tpl := m.tree.LearnTokens(toks)
-	m.treeMu.Unlock()
+	// m.tree is stable while sh.mu is held: SwapModel replaces it only
+	// with every shard mutex locked, so the unlocked pointer read cannot
+	// race, and prepare — which touches only the tree's lock-free symbol
+	// table — runs outside treeMu against the same tree learn will use.
+	tree := m.tree
+	var tpl *sigtree.Template
+	if syms, ok := tree.PrepareSyms(msg.Text, &sh.tb); ok {
+		m.treeMu.Lock()
+		tpl = tree.LearnSyms(syms)
+		m.treeMu.Unlock()
+	} else {
+		// Symbol table full: legacy string path, identical semantics.
+		toks := sigtree.PrepareTokens(msg.Text)
+		m.treeMu.Lock()
+		tpl = tree.LearnTokens(toks)
+		m.treeMu.Unlock()
+	}
 	if sampled {
 		sp.sigtreeNS = int64(time.Since(s0))
 	}
@@ -410,7 +437,6 @@ func (sh *shard) processBatchLocked(b *batchBuf) {
 	m := sh.m
 	msgs := b.msgs
 	B := len(msgs)
-	b.toks = growToks(b.toks, B)
 	b.tpls = growInts(b.tpls, B)
 	b.hss = growHosts(b.hss, B)
 	b.done = growBools(b.done, B)
@@ -433,13 +459,27 @@ func (sh *shard) processBatchLocked(b *batchBuf) {
 			}
 		}
 	}
+	// Prepare the whole batch into one symbol arena outside treeMu (the
+	// tree pointer is stable under sh.mu; see handleLocked), then learn
+	// every message in a single treeMu section on integer compares.
+	tree := m.tree
+	b.syms = b.syms[:0]
+	b.symOff = growInts(b.symOff, B+1)
+	b.symOK = growBools(b.symOK, B)
 	for i := range msgs {
-		b.toks[i] = sigtree.PrepareTokens(msgs[i].Text)
+		b.symOff[i] = len(b.syms)
+		b.syms, b.symOK[i] = tree.AppendSyms(b.syms, msgs[i].Text, &b.tb)
 	}
+	b.symOff[B] = len(b.syms)
 	t0 := m.learnSeconds.Start()
 	m.treeMu.Lock()
 	for i := range msgs {
-		b.tpls[i] = m.tree.LearnTokens(b.toks[i]).ID
+		if b.symOK[i] {
+			b.tpls[i] = tree.LearnSyms(b.syms[b.symOff[i]:b.symOff[i+1]]).ID
+		} else {
+			// Symbol table full: string path for this message only.
+			b.tpls[i] = tree.LearnTokens(sigtree.PrepareTokens(msgs[i].Text)).ID
+		}
 	}
 	m.treeMu.Unlock()
 	m.learnSeconds.ObserveDuration(t0)
@@ -511,13 +551,6 @@ func (sh *shard) processBatchLocked(b *batchBuf) {
 
 // The grow helpers resize reusable scratch slices without reallocating once
 // capacity suffices.
-func growToks(s [][]string, n int) [][]string {
-	if cap(s) < n {
-		return make([][]string, n)
-	}
-	return s[:n]
-}
-
 func growInts(s []int, n int) []int {
 	if cap(s) < n {
 		return make([]int, n)

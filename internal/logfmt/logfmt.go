@@ -102,46 +102,101 @@ var ErrBadFormat = errors.New("logfmt: malformed syslog line")
 // Parse3164 parses a line produced by Format3164. RFC 3164 timestamps have
 // no year, so the caller supplies one; the day-of-week ambiguity around
 // New Year is resolved by picking the year that puts the timestamp closest
-// to the reference.
+// to the reference. Host, Tag, and Text share line's memory (no copies).
 func Parse3164(line string, year int) (Message, error) {
+	return parse3164(line, year)
+}
+
+// Parse3164Bytes is Parse3164 over a raw frame, the ingest hot path: the
+// PRI and timestamp are parsed in place and only the tail from the host
+// onward is copied into the message — the line's sole copy, against the
+// whole-line string conversion plus fmt.Sscanf scratch the string entry
+// point used to cost per frame.
+func Parse3164Bytes(line []byte, year int) (Message, error) {
+	return parse3164(line, year)
+}
+
+// parse3164 is the shared RFC 3164 parser. Instantiated over string it
+// slices without copying; over []byte each string(...) conversion is a
+// copy, so conversions are kept to the timestamp field (15 bytes, parsed
+// and dropped) and the single host+tag+text tail that outlives the call.
+// The PRI field is parsed with parsePri — digits only, no fmt machinery.
+func parse3164[T ~string | ~[]byte](line T, year int) (Message, error) {
 	var m Message
 	if len(line) < 5 || line[0] != '<' {
-		return m, fmt.Errorf("%w: missing PRI in %q", ErrBadFormat, truncate(line))
+		return m, fmt.Errorf("%w: missing PRI in %q", ErrBadFormat, truncate(string(line)))
 	}
-	end := strings.IndexByte(line, '>')
-	if end < 2 || end > 4 {
-		return m, fmt.Errorf("%w: bad PRI in %q", ErrBadFormat, truncate(line))
+	end := 0
+	for i := 1; i < len(line) && i <= 4; i++ {
+		if line[i] == '>' {
+			end = i
+			break
+		}
 	}
-	var pri int
-	if _, err := fmt.Sscanf(line[1:end], "%d", &pri); err != nil || pri < 0 || pri > 191 {
-		return m, fmt.Errorf("%w: bad PRI value in %q", ErrBadFormat, truncate(line))
+	if end < 2 {
+		return m, fmt.Errorf("%w: bad PRI in %q", ErrBadFormat, truncate(string(line)))
+	}
+	pri := parsePri(line[1:end])
+	if pri < 0 || pri > 191 {
+		return m, fmt.Errorf("%w: bad PRI value in %q", ErrBadFormat, truncate(string(line)))
 	}
 	m.Facility = Facility(pri / 8)
 	m.Severity = Severity(pri % 8)
 	rest := line[end+1:]
 	if len(rest) < len(time.Stamp)+1 {
-		return m, fmt.Errorf("%w: short line %q", ErrBadFormat, truncate(line))
+		return m, fmt.Errorf("%w: short line %q", ErrBadFormat, truncate(string(line)))
 	}
-	ts, err := time.Parse(time.Stamp, rest[:len(time.Stamp)])
+	ts, err := time.Parse(time.Stamp, string(rest[:len(time.Stamp)]))
 	if err != nil {
-		return m, fmt.Errorf("%w: bad timestamp in %q: %v", ErrBadFormat, truncate(line), err)
+		return m, fmt.Errorf("%w: bad timestamp in %q: %v", ErrBadFormat, truncate(string(line)), err)
 	}
 	m.Time = ts.AddDate(year, 0, 0)
-	rest = strings.TrimPrefix(rest[len(time.Stamp):], " ")
-	// host tag: text
-	sp := strings.IndexByte(rest, ' ')
+	rest = rest[len(time.Stamp):]
+	if len(rest) > 0 && rest[0] == ' ' {
+		rest = rest[1:]
+	}
+	// host tag: text — find the boundaries first, convert the tail once.
+	sp := -1
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == ' ' {
+			sp = i
+			break
+		}
+	}
 	if sp <= 0 {
-		return m, fmt.Errorf("%w: missing host in %q", ErrBadFormat, truncate(line))
+		return m, fmt.Errorf("%w: missing host in %q", ErrBadFormat, truncate(string(line)))
 	}
-	m.Host = rest[:sp]
-	rest = rest[sp+1:]
-	colon := strings.Index(rest, ": ")
-	if colon <= 0 {
-		return m, fmt.Errorf("%w: missing tag in %q", ErrBadFormat, truncate(line))
+	colon := -1
+	for i := sp + 1; i+1 < len(rest); i++ {
+		if rest[i] == ':' && rest[i+1] == ' ' {
+			colon = i
+			break
+		}
 	}
-	m.Tag = rest[:colon]
-	m.Text = rest[colon+2:]
+	if colon <= sp+1 {
+		return m, fmt.Errorf("%w: missing tag in %q", ErrBadFormat, truncate(string(line)))
+	}
+	tail := string(rest)
+	m.Host = tail[:sp]
+	m.Tag = tail[sp+1 : colon]
+	m.Text = tail[colon+2:]
 	return m, nil
+}
+
+// parsePri parses the digits between '<' and '>': 1–3 ASCII digits, no
+// sign, no whitespace. -1 means malformed. (The RFC allows nothing else;
+// this replaces a fmt.Sscanf that allocated per frame and tolerated
+// trailing junk.)
+func parsePri[T ~string | ~[]byte](digits T) int {
+	v := 0
+	for i := 0; i < len(digits); i++ {
+		b := digits[i]
+		if b < '0' || b > '9' {
+			return -1
+		}
+		v = v*10 + int(b-'0')
+	}
+	return v
 }
 
 func truncate(s string) string {

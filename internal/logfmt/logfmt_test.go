@@ -123,6 +123,59 @@ func TestParse3164Malformed(t *testing.T) {
 	}
 }
 
+// TestParse3164BytesMatchesString pins the two entry points to identical
+// behavior: same fields on valid lines, same rejection (and same sentinel)
+// on malformed ones. The byte path may not share the input's memory — the
+// server reuses its read buffer after enqueue.
+func TestParse3164BytesMatchesString(t *testing.T) {
+	ref := mkMsg()
+	lines := []string{
+		ref.Format3164(),
+		"<0>Jan  1 00:00:00 h t: x",
+		"<191>Dec 31 23:59:59 edge-r1 chassisd: fan tray 2 removed",
+		"<28>Mar 14 15:09:26 vpe07 rpd[1423]: task_timer: IPv6 fe80::1 down",
+		"<28>Mar 14 15:09:26 vpe07 rpd:  leading space text",
+		// Malformed family: each entry point must reject the same inputs.
+		"",
+		"no pri at all",
+		"<>Mar 14 15:09:26 h t: x",
+		"<28a>Mar 14 15:09:26 h t: x",
+		"< 28>Mar 14 15:09:26 h t: x",
+		"<+28>Mar 14 15:09:26 h t: x",
+		"<999>Mar 14 15:09:26 h t: x",
+		"<28>not a timestamp here h t: x",
+		"<28>Mar 14 15:09:26",
+		"<28>Mar 14 15:09:26 hostonly",
+		"<28>Mar 14 15:09:26 host notag",
+		"<28>Mar 14 15:09:26 host : emptytag",
+	}
+	for _, line := range lines {
+		sm, serr := Parse3164(line, 2017)
+		buf := []byte(line)
+		bm, berr := Parse3164Bytes(buf, 2017)
+		if (serr == nil) != (berr == nil) {
+			t.Fatalf("Parse3164(%q): string err %v, bytes err %v", line, serr, berr)
+		}
+		if serr != nil {
+			if !errors.Is(berr, ErrBadFormat) {
+				t.Fatalf("Parse3164Bytes(%q) error not ErrBadFormat: %v", line, berr)
+			}
+			continue
+		}
+		if sm.Host != bm.Host || sm.Tag != bm.Tag || sm.Text != bm.Text ||
+			sm.Facility != bm.Facility || sm.Severity != bm.Severity || !sm.Time.Equal(bm.Time) {
+			t.Fatalf("Parse3164(%q): string %+v, bytes %+v", line, sm, bm)
+		}
+		// The message must survive the caller scribbling over the frame.
+		for i := range buf {
+			buf[i] = 'Z'
+		}
+		if bm.Host != sm.Host || bm.Tag != sm.Tag || bm.Text != sm.Text {
+			t.Fatalf("Parse3164Bytes(%q) aliases its input buffer", line)
+		}
+	}
+}
+
 func TestJSONLRoundTrip(t *testing.T) {
 	msgs := []Message{mkMsg(), mkMsg(), mkMsg()}
 	msgs[1].Host = "vpe13"

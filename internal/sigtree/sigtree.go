@@ -19,6 +19,17 @@
 //
 // Templates receive stable small-integer IDs in discovery order, which
 // downstream models use directly as class indices.
+//
+// Two equivalent front ends feed the tree. The string path
+// (PrepareTokens+LearnTokens) is the reference: plain []string tokens,
+// position-wise string comparison. The interned path
+// (PrepareSyms+LearnSyms) is the serving hot path: tokens are interned
+// into a per-tree symbol table (symtab.go) by a byte-oriented scanner
+// (scan.go) that never copies per token, and matching compares uint32
+// symbol IDs. Every template carries both representations, kept in sync
+// by construction, so either path may be used on the same tree and
+// serialization (Save/Load, Fingerprint) always sees strings — the wire
+// format is byte-identical to the pre-interning one.
 package sigtree
 
 import (
@@ -40,13 +51,22 @@ type Template struct {
 	Tokens []string
 	// Count is the number of messages matched to this template so far.
 	Count int
+
+	// syms mirrors Tokens as interned symbol IDs (wildcardID at masked
+	// positions, invalidSym where the table was full at creation). It is
+	// unexported, so gob serialization — and therefore checkpoint and
+	// bundle bytes — is unchanged by its existence.
+	syms []uint32
 }
 
 // String renders the template with wildcards, e.g. "interface * down".
 func (t *Template) String() string { return strings.Join(t.Tokens, " ") }
 
-// Tree learns and matches log templates. It is not safe for concurrent
-// use; callers that share a Tree across goroutines must synchronize.
+// Tree learns and matches log templates. Learning is not safe for
+// concurrent use; callers that share a Tree across goroutines must
+// synchronize Learn/LearnTokens/LearnSyms/Match. PrepareSyms/AppendSyms
+// are the exception: they touch only the lock-free symbol table and may
+// run concurrently with each other and with learning.
 type Tree struct {
 	// SimThreshold is the minimum fraction of token positions that must
 	// match an existing signature for a message to merge into it.
@@ -63,6 +83,9 @@ type Tree struct {
 	// overflow is the catch-all template ID once maxTemplates is hit,
 	// or -1 if not yet allocated.
 	overflow int
+
+	// syms interns token strings to the uint32 IDs the hot path compares.
+	syms symTab
 }
 
 // Option configures a Tree.
@@ -86,6 +109,7 @@ func New(opts ...Option) *Tree {
 		buckets:      make(map[int][]int),
 		overflow:     -1,
 	}
+	t.syms.init()
 	for _, o := range opts {
 		o(t)
 	}
@@ -107,6 +131,10 @@ func (t *Tree) TemplateByID(id int) *Template {
 	return t.templates[id]
 }
 
+// SymCount returns the number of interned token symbols (wildcard
+// included) — an observability hook for the hot path's vocabulary size.
+func (t *Tree) SymCount() int { return t.syms.size() }
+
 // Learn matches msg against the tree, creating or refining a template as
 // needed, increments its count, and returns it.
 func (t *Tree) Learn(msg string) *Template {
@@ -116,7 +144,8 @@ func (t *Tree) Learn(msg string) *Template {
 // PrepareTokens tokenizes and masks msg into the canonical form LearnTokens
 // consumes. It is a pure function of msg, so concurrent shard workers run
 // it outside the tree lock — tokenization is the expensive half of Learn —
-// and only the match/merge step needs serialization.
+// and only the match/merge step needs serialization. PrepareSyms is the
+// allocation-free interned equivalent.
 func PrepareTokens(msg string) []string {
 	tokens := maskTokens(Tokenize(msg))
 	if len(tokens) == 0 {
@@ -126,13 +155,14 @@ func PrepareTokens(msg string) []string {
 }
 
 // LearnTokens is Learn over tokens already prepared with PrepareTokens.
-// Like every Tree method it requires external synchronization; the caller
-// must not mutate tokens afterwards (a new template takes ownership).
+// Like every learning method it requires external synchronization; the
+// caller must not mutate tokens afterwards (a new template takes
+// ownership).
 func (t *Tree) LearnTokens(tokens []string) *Template {
-	if idx, merge := t.findBest(tokens); idx >= 0 {
+	if idx, merge := t.findBestTokens(tokens); idx >= 0 {
 		tpl := t.templates[idx]
 		if merge {
-			mergeInto(tpl, tokens)
+			mergeIntoTokens(tpl, tokens)
 		}
 		tpl.Count++
 		return tpl
@@ -140,9 +170,46 @@ func (t *Tree) LearnTokens(tokens []string) *Template {
 	if len(t.templates) >= t.maxTemplates {
 		return t.overflowTemplate()
 	}
-	tpl := &Template{ID: len(t.templates), Tokens: tokens, Count: 1}
+	syms := make([]uint32, len(tokens))
+	for i, tok := range tokens {
+		id, ok := t.syms.internString(tok)
+		if !ok {
+			id = invalidSym
+		}
+		syms[i] = id
+	}
+	tpl := &Template{ID: len(t.templates), Tokens: tokens, Count: 1, syms: syms}
 	t.templates = append(t.templates, tpl)
 	t.buckets[len(tokens)] = append(t.buckets[len(tokens)], tpl.ID)
+	return tpl
+}
+
+// LearnSyms is LearnTokens over symbols prepared with PrepareSyms — the
+// integer-compare hot path. It allocates only when the tree grows a new
+// template (the symbols are copied then, so the caller's scratch slice
+// stays reusable). Requires the same external synchronization as
+// LearnTokens; PrepareSyms itself does not.
+func (t *Tree) LearnSyms(syms []uint32) *Template {
+	if idx, merge := t.findBestSyms(syms); idx >= 0 {
+		tpl := t.templates[idx]
+		if merge {
+			mergeIntoSyms(t, tpl, syms)
+		}
+		tpl.Count++
+		return tpl
+	}
+	if len(t.templates) >= t.maxTemplates {
+		return t.overflowTemplate()
+	}
+	ss := make([]uint32, len(syms))
+	copy(ss, syms)
+	tokens := make([]string, len(syms))
+	for i, id := range syms {
+		tokens[i] = t.syms.str(id)
+	}
+	tpl := &Template{ID: len(t.templates), Tokens: tokens, Count: 1, syms: ss}
+	t.templates = append(t.templates, tpl)
+	t.buckets[len(syms)] = append(t.buckets[len(syms)], tpl.ID)
 	return tpl
 }
 
@@ -153,18 +220,36 @@ func (t *Tree) Match(msg string) (*Template, bool) {
 	if len(tokens) == 0 {
 		tokens = []string{Wildcard}
 	}
-	if idx, _ := t.findBest(tokens); idx >= 0 {
+	if idx, _ := t.findBestTokens(tokens); idx >= 0 {
 		return t.templates[idx], true
 	}
 	return nil, false
 }
 
-// findBest returns the index of the best-matching template and whether the
-// match requires a merge (some positions disagree), or (-1, false).
-func (t *Tree) findBest(tokens []string) (int, bool) {
+// findBestTokens returns the index of the best-matching template and
+// whether the match requires a merge (some positions disagree), or
+// (-1, false). String comparison — the reference path.
+func (t *Tree) findBestTokens(tokens []string) (int, bool) {
 	bestIdx, bestSim := -1, 0.0
 	for _, idx := range t.buckets[len(tokens)] {
 		sim := similarity(t.templates[idx].Tokens, tokens)
+		if sim > bestSim {
+			bestSim, bestIdx = sim, idx
+		}
+	}
+	if bestIdx >= 0 && bestSim >= t.simThreshold {
+		return bestIdx, bestSim < 1
+	}
+	return -1, false
+}
+
+// findBestSyms is findBestTokens on interned symbols. Symbol equality is
+// string equality (interning is injective; invalidSym positions match
+// nothing, see invalidSym), so both paths pick the same template.
+func (t *Tree) findBestSyms(syms []uint32) (int, bool) {
+	bestIdx, bestSim := -1, 0.0
+	for _, idx := range t.buckets[len(syms)] {
+		sim := symSimilarity(t.templates[idx].syms, syms)
 		if sim > bestSim {
 			bestSim, bestIdx = sim, idx
 		}
@@ -182,7 +267,7 @@ func (t *Tree) overflowTemplate() *Template {
 		tpl.Count++
 		return tpl
 	}
-	tpl := &Template{ID: len(t.templates), Tokens: []string{Wildcard}, Count: 1}
+	tpl := &Template{ID: len(t.templates), Tokens: []string{Wildcard}, Count: 1, syms: []uint32{wildcardID}}
 	t.templates = append(t.templates, tpl)
 	t.overflow = tpl.ID
 	return tpl
@@ -210,53 +295,89 @@ func similarity(a, b []string) float64 {
 	return float64(eq) / float64(len(a))
 }
 
-// mergeInto rewrites tpl so disagreeing positions become wildcards.
-func mergeInto(tpl *Template, tokens []string) {
+// symSimilarity is similarity over symbol IDs: one integer compare per
+// position instead of a length check plus memcmp.
+func symSimilarity(a, b []uint32) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	if len(a) == 0 {
+		return 1
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] && a[i] != invalidSym {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+// mergeIntoTokens rewrites tpl so disagreeing positions become wildcards,
+// in both representations.
+func mergeIntoTokens(tpl *Template, tokens []string) {
 	for i := range tpl.Tokens {
 		if tpl.Tokens[i] != tokens[i] {
+			tpl.Tokens[i] = Wildcard
+			tpl.syms[i] = wildcardID
+		}
+	}
+}
+
+// mergeIntoSyms is mergeIntoTokens on the symbol path.
+func mergeIntoSyms(t *Tree, tpl *Template, syms []uint32) {
+	for i := range tpl.syms {
+		if tpl.syms[i] != syms[i] || tpl.syms[i] == invalidSym {
+			tpl.syms[i] = wildcardID
 			tpl.Tokens[i] = Wildcard
 		}
 	}
 }
 
 // Tokenize splits a raw log message into tokens on whitespace, additionally
-// separating common punctuation that glues fields to structure (colons,
-// commas, equals, brackets).
+// separating common punctuation that glues fields to structure (commas,
+// equals, brackets, quotes). Colons are kept inside tokens — IPv6
+// addresses, MAC addresses, timestamps, interface unit specs like
+// "ge-0/0/1:0" survive as single tokens — but trailing colons ("word:",
+// "10.0.0.1:") are stripped as separators. Tokens are substrings of msg;
+// no per-token copies are made.
 func Tokenize(msg string) []string {
 	var out []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			out = append(out, cur.String())
-			cur.Reset()
+	n := len(msg)
+	i := 0
+	for i < n {
+		for i < n && isSepByte(msg[i]) {
+			i++
 		}
-	}
-	for _, r := range msg {
-		switch r {
-		case ' ', '\t', '\n', '\r':
-			flush()
-		case ',', '=', '[', ']', '(', ')', '"', ';':
-			flush()
-		case ':':
-			// Keep colons inside tokens (IPv6, interface specs like
-			// ge-0/0/1:0) but treat a trailing "word:" as separator.
-			flush()
-		default:
-			cur.WriteRune(r)
+		if i >= n {
+			break
 		}
+		j := i
+		for j < n && !isSepByte(msg[j]) {
+			j++
+		}
+		end := j
+		for end > i && msg[end-1] == ':' {
+			end--
+		}
+		if end > i {
+			out = append(out, msg[i:end])
+		}
+		i = j
 	}
-	flush()
 	return out
 }
 
-// maskTokens replaces variable-looking tokens with the wildcard.
+// maskTokens replaces variable-looking tokens with the wildcard and
+// ASCII-lowercases the rest — the same fold the interned scanner applies,
+// so the two paths produce identical token sequences on every input.
 func maskTokens(tokens []string) []string {
 	out := make([]string, len(tokens))
 	for i, tok := range tokens {
 		if IsVariableToken(tok) {
 			out[i] = Wildcard
 		} else {
-			out[i] = strings.ToLower(tok)
+			out[i] = lowerASCII(tok)
 		}
 	}
 	return out
@@ -317,7 +438,9 @@ func IsVariableToken(tok string) bool {
 // they were written against this very tree and not some other lineage.
 // The fingerprint changes as the tree learns (growth and wildcard merges
 // both count), matching the tree's not-concurrency-safe contract: compute
-// it under whatever lock guards Learn.
+// it under whatever lock guards Learn. Symbol IDs are deliberately
+// excluded: they depend on intern order, which concurrent preparation
+// does not make deterministic — token strings are the identity.
 func (t *Tree) Fingerprint() uint64 {
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
@@ -343,7 +466,10 @@ func (t *Tree) Fingerprint() uint64 {
 	return h
 }
 
-// treeSnapshot is the gob wire form of a Tree.
+// treeSnapshot is the gob wire form of a Tree. Template's symbol mirror is
+// unexported and thus invisible to gob: the bytes Save writes are
+// byte-identical to the pre-interning format, which the checkpoint and
+// bundle formats require.
 type treeSnapshot struct {
 	SimThreshold float64
 	MaxTemplates int
@@ -367,7 +493,9 @@ func (t *Tree) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reconstructs a tree saved with Save.
+// Load reconstructs a tree saved with Save, re-interning every template
+// token into a fresh symbol table (symbol IDs are per-process; only the
+// strings are wire format).
 func Load(r io.Reader) (*Tree, error) {
 	var snap treeSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -376,8 +504,15 @@ func Load(r io.Reader) (*Tree, error) {
 	t := New(WithSimThreshold(snap.SimThreshold), WithMaxTemplates(snap.MaxTemplates))
 	t.overflow = snap.Overflow
 	for i := range snap.Templates {
-		tpl := snap.Templates[i]
-		cp := tpl
+		cp := snap.Templates[i]
+		cp.syms = make([]uint32, len(cp.Tokens))
+		for j, tok := range cp.Tokens {
+			id, ok := t.syms.internString(tok)
+			if !ok {
+				id = invalidSym
+			}
+			cp.syms[j] = id
+		}
 		t.templates = append(t.templates, &cp)
 		t.buckets[len(cp.Tokens)] = append(t.buckets[len(cp.Tokens)], cp.ID)
 	}

@@ -1,0 +1,94 @@
+package nfvpredict
+
+import (
+	"strings"
+	"testing"
+
+	"nfvpredict/internal/sigtree"
+)
+
+// oldPrepareTokens replicates the pre-interning tokenize-and-mask pipeline
+// exactly as it shipped: every colon was a separator (the behavior the old
+// Tokenize implemented, against its own comment), and masking lowercased
+// with strings.ToLower. It is the oracle for the seed-scenario parity gate
+// below.
+func oldPrepareTokens(msg string) []string {
+	fields := strings.FieldsFunc(msg, func(r rune) bool {
+		switch r {
+		case ' ', '\t', '\n', '\r', ',', '=', '[', ']', '(', ')', '"', ';', ':':
+			return true
+		}
+		return false
+	})
+	toks := make([]string, 0, len(fields))
+	for _, f := range fields {
+		if sigtree.IsVariableToken(f) {
+			toks = append(toks, sigtree.Wildcard)
+		} else {
+			toks = append(toks, strings.ToLower(f))
+		}
+	}
+	if len(toks) == 0 {
+		toks = []string{sigtree.Wildcard}
+	}
+	return toks
+}
+
+// TestSeedScenarioWarningParity is the behavioral gate on the tokenizer
+// rework: over every message of the simulator's seed scenario, the new
+// byte scanner (string and interned front ends both) must produce the
+// same masked tokens and the same per-message template-ID sequence as the
+// old colon-splitting tokenizer. Template IDs drive the LSTM event
+// streams, which drive anomaly verdicts, which drive the §5.1 clustering
+// rule — identical ID sequences mean the warning sequence is exactly
+// preserved. (The colon rule only diverges on interior-colon tokens —
+// IPv6, MACs, interface unit specs — which the seed corpus never emits;
+// this test fails if either the corpus or the tokenizer drifts into
+// disagreement.)
+func TestSeedScenarioWarningParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed parity gate in -short mode")
+	}
+	simCfg := SmallSimConfig()
+	simCfg.NumVPEs = 6
+	simCfg.Months = 2
+	simCfg.UpdateMonth = -1
+	trace, err := Simulate(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Messages) == 0 {
+		t.Fatal("seed scenario produced no messages")
+	}
+	treeOld := sigtree.New()
+	treeNew := sigtree.New()
+	treeSym := sigtree.New()
+	var tb sigtree.TokenBuf
+	for i := range trace.Messages {
+		text := trace.Messages[i].Text
+		oldToks := oldPrepareTokens(text)
+		newToks := sigtree.PrepareTokens(text)
+		if len(oldToks) != len(newToks) {
+			t.Fatalf("msg %d %q: old tokens %v, new tokens %v", i, text, oldToks, newToks)
+		}
+		for k := range oldToks {
+			if oldToks[k] != newToks[k] {
+				t.Fatalf("msg %d %q: token %d: old %q, new %q", i, text, k, oldToks[k], newToks[k])
+			}
+		}
+		idOld := treeOld.LearnTokens(oldToks).ID
+		idNew := treeNew.LearnTokens(newToks).ID
+		syms, ok := treeSym.PrepareSyms(text, &tb)
+		if !ok {
+			t.Fatalf("msg %d %q: symbol prepare failed on the seed corpus", i, text)
+		}
+		idSym := treeSym.LearnSyms(syms).ID
+		if idOld != idNew || idNew != idSym {
+			t.Fatalf("msg %d %q: template IDs diverged: old %d, new %d, interned %d",
+				i, text, idOld, idNew, idSym)
+		}
+	}
+	if fNew, fSym := treeNew.Fingerprint(), treeSym.Fingerprint(); fNew != fSym {
+		t.Fatalf("string-path and interned-path trees diverged: %#x vs %#x", fNew, fSym)
+	}
+}
