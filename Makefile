@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race ci chaos chaos-full bench bench-nn bench-pipeline bench-obs bench-serving bench-json figures
+.PHONY: build test test-race ci chaos chaos-full scenarios bench bench-nn bench-pipeline bench-obs bench-serving bench-json figures
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,19 @@ chaos:
 chaos-full:
 	CHAOS_SOAK=full $(GO) test ./internal/chaos/ -run TestChaosSoakFull -race -count=1 -timeout 20m -v
 
+# Scenario harness: lint every scenario in the shipped library, then run
+# them end-to-end (simulate → train → serve over TCP → eval → assert).
+# Each scenario is seconds of wall time; the whole library is the fast
+# subset that ci runs. Assertion failures exit nonzero.
+scenarios:
+	$(GO) run ./cmd/nfvscen validate scenarios/
+	$(GO) run ./cmd/nfvscen run scenarios/
+
 # Full gate: what a CI job runs. Vet, build, the whole test suite, the
 # race pass over the concurrent packages (which covers the shard
-# lifecycle tests), the lifecycle soaks under -race (f64 and the
+# lifecycle tests), the scenario-harness library (lint + end-to-end run
+# of every shipped scenario with its assertions), the lifecycle soaks
+# under -race (f64 and the
 # quantized f32 engine — the latter proves the atomic engine swap on
 # promotion is safe against concurrent scorers), the quantized-parity
 # smoke (f32 warning-sequence parity, int8 FAR-delta gate, and the
@@ -52,6 +62,7 @@ ci: build
 	$(GO) test ./...
 	$(MAKE) test-race
 	$(MAKE) chaos
+	$(MAKE) scenarios
 	$(GO) test ./internal/lifecycle/ -run 'TestLifecycleSoakSmoke|TestLifecycleSoakQuantized' -race -count=1
 	$(GO) test ./internal/ingest/ -run 'TestQuantF32WarningParity|TestQuantInt8FARDelta' -count=1
 	$(GO) test ./internal/detect/ -run 'TestSetPrecision|TestClonePropagatesPrecision|TestUpdateRepacks|TestAdaptRepacks' -count=1

@@ -6,6 +6,7 @@
 //	figures -fig all                 # every figure (slow: trains models)
 //	figures -fig 1a|1b|2|3|update|volume     # measurement-study figures
 //	figures -fig 5|6|7|8|reduction           # model figures
+//	figures -fig summary                     # eval.Summary as JSON
 //	figures -fig stats               # all measurement-study figures
 //	figures -seed 7 -months 10 -vpes 12      # override the model fleet
 package main
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a,1b,2,3,update,volume,5,6,7,8,reduction,stats,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a,1b,2,3,update,volume,5,6,7,8,reduction,summary,stats,all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	months := flag.Int("months", 0, "override model-fleet horizon months")
 	vpes := flag.Int("vpes", 0, "override model-fleet size")
@@ -37,7 +38,7 @@ func main() {
 func run(fig string, seed int64, months, vpes int) error {
 	out := os.Stdout
 	wantStats := map[string]bool{"1a": true, "1b": true, "2": true, "3": true, "update": true, "volume": true, "stats": true, "all": true}
-	wantModel := map[string]bool{"5": true, "6": true, "7": true, "8": true, "reduction": true, "all": true}
+	wantModel := map[string]bool{"5": true, "6": true, "7": true, "8": true, "reduction": true, "summary": true, "all": true}
 
 	if wantStats[fig] {
 		cfg := figures.StatsSimConfig()
@@ -125,6 +126,8 @@ func run(fig string, seed int64, months, vpes int) error {
 				_, err = figures.Fig7(out, ds, pcfg)
 			case "8":
 				_, err = figures.Fig8(out, ds, pcfg)
+			case "summary":
+				_, err = figures.Summary(out, ds, pcfg)
 			case "reduction":
 				rCfg := figures.ReductionSimConfig()
 				rCfg.Seed = simCfg.Seed

@@ -1,0 +1,219 @@
+// Command nfvscen runs declarative full-stack failure scenarios: YAML
+// documents describing a simulated vPE fleet, a timed event timeline
+// (fault episodes, anomaly bursts, chaos fault-point arming, adaptation
+// triggers, checkpoint parity probes, degradation excursions), and
+// assertions on the run's outcome. Each run drives the real serving
+// stack: nfvsim trace → syslog over TCP → ingest.Server → sharded
+// Monitor (→ lifecycle) → eval against the ticket store.
+//
+// Usage:
+//
+//	nfvscen validate scenarios/              # lint every scenario file
+//	nfvscen run scenarios/                   # run all, human-readable
+//	nfvscen run -json scenarios/outage.yaml  # machine-readable report
+//	nfvscen run -v -dump-trace t.jsonl f.yaml
+//
+// A path may be a file or a directory (expanded to *.yaml / *.yml).
+// Exit status: 0 all passed, 1 validation error or failed assertion,
+// 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nfvpredict/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "validate":
+		err = validateCmd(os.Args[2:])
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "nfvscen: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvscen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  nfvscen validate <path>...             lint scenario files (exit 1 on any error)
+  nfvscen run [flags] <path>...          run scenarios end-to-end
+    -json            emit the machine-readable report array on stdout
+    -v               log phases and timeline events as they execute
+    -dump-trace FILE write the generated trace as logfmt JSONL (replaylog input)
+
+A path may be a file or a directory (expanded to *.yaml / *.yml).
+`)
+}
+
+// expand resolves files and directories into a sorted scenario file list.
+func expand(paths []string) ([]string, error) {
+	var files []string
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			if ext := filepath.Ext(e.Name()); ext == ".yaml" || ext == ".yml" {
+				files = append(files, filepath.Join(p, e.Name()))
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no scenario files found")
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+func validateCmd(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("validate: no paths given")
+	}
+	files, err := expand(fs.Args())
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, f := range files {
+		if _, err := scenario.LoadFile(f); err != nil {
+			bad++
+			fmt.Fprintln(os.Stderr, err)
+		} else {
+			fmt.Printf("%s: ok\n", f)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d scenario file(s) invalid", bad, len(files))
+	}
+	return nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the report array as JSON on stdout")
+	verbose := fs.Bool("v", false, "log phases and timeline events")
+	dumpTrace := fs.String("dump-trace", "", "write the generated trace as logfmt JSONL (single scenario only)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("run: no paths given")
+	}
+	files, err := expand(fs.Args())
+	if err != nil {
+		return err
+	}
+	if *dumpTrace != "" && len(files) > 1 {
+		return fmt.Errorf("run: -dump-trace needs exactly one scenario, got %d", len(files))
+	}
+
+	opts := scenario.Options{DumpTrace: *dumpTrace}
+	if *verbose {
+		opts.Log = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	var reports []*scenario.Report
+	failed := 0
+	for _, f := range files {
+		spec, err := scenario.LoadFile(f)
+		if err != nil {
+			return err
+		}
+		rep, err := scenario.Run(spec, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		reports = append(reports, rep)
+		if !rep.Passed {
+			failed++
+		}
+		if !*jsonOut {
+			printReport(rep)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenario(s) failed", failed, len(reports))
+	}
+	if !*jsonOut {
+		fmt.Printf("all %d scenario(s) passed\n", len(reports))
+	}
+	return nil
+}
+
+func printReport(rep *scenario.Report) {
+	var phases []string
+	var total int64
+	for _, p := range rep.Phases {
+		phases = append(phases, fmt.Sprintf("%s %dms", p.Name, p.Millis))
+		total += p.Millis
+	}
+	status := "PASS"
+	if !rep.Passed {
+		status = "FAIL"
+	}
+	fmt.Printf("%s: %s (%dms: %s)\n", rep.Scenario, status, total, strings.Join(phases, ", "))
+	fmt.Printf("  sim: %d messages, %d tickets, %d injected events\n",
+		rep.Sim.Messages, rep.Sim.Tickets, rep.Sim.Injections)
+	fmt.Printf("  serve: %d received, %d warnings, %d anomalies, shards=%d\n",
+		rep.Serve.Received, rep.Serve.Warnings, rep.Serve.Anomalies, rep.Serve.Shards)
+	if rep.Eval != nil {
+		fmt.Printf("  eval: %d/%d tickets detected, %d false alarms (%.2f/day), %d early\n",
+			rep.Eval.DetectedTickets, rep.Eval.Tickets, rep.Eval.FalseAlarms,
+			rep.Eval.FalseAlarmsPerDay, rep.Eval.EarlyTickets)
+	}
+	if rep.Lifecycle != nil {
+		fmt.Printf("  lifecycle: %d cycles, %d promotions, breaker %s\n",
+			rep.Lifecycle.Cycles, rep.Lifecycle.Promotions, rep.Lifecycle.Breaker)
+	}
+	for _, ev := range rep.Events {
+		fmt.Printf("  event %-10s at %-8s %s\n", ev.Kind, ev.At, ev.Detail)
+	}
+	for _, a := range rep.Assertions {
+		mark := "ok"
+		if !a.OK {
+			mark = "FAIL"
+		}
+		fmt.Printf("  assert %-28s %-4s %s\n", a.Name, mark, a.Detail)
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	replaylog -trace trace.jsonl -addr 127.0.0.1:5514 -proto udp -speedup 0
+//	replaylog -scenario scenarios/regional-outage.yaml -addr 127.0.0.1:5514
 //
 // A speedup of 0 replays as fast as pacing allows; a speedup of 3600
 // compresses an hour of trace time into one second of wall time. -rate
@@ -14,6 +15,12 @@
 // timestamps forward by the trace's span, so a monitor under soak sees one
 // continuous, monotonic stream (lifecycle drift/adaptation soaks run off
 // exactly this).
+//
+// -scenario generates the trace from a scenario-harness YAML file
+// (fleet + injected timeline, same seed → same trace) instead of reading
+// one from disk — the bridge between the declarative scenario library and
+// a live monitor. It is equivalent to `nfvscen run -dump-trace` followed
+// by -trace on the dump.
 package main
 
 import (
@@ -25,10 +32,12 @@ import (
 	"time"
 
 	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/scenario"
 )
 
 func main() {
 	tracePath := flag.String("trace", "trace.jsonl", "syslog trace (JSONL)")
+	scenPath := flag.String("scenario", "", "generate the trace from this scenario YAML instead of -trace")
 	addr := flag.String("addr", "127.0.0.1:5514", "destination address")
 	proto := flag.String("proto", "udp", "udp or tcp")
 	speedup := flag.Float64("speedup", 0, "trace-time compression factor; 0 = as fast as possible")
@@ -37,19 +46,38 @@ func main() {
 	loop := flag.Int("loop", 1, "replay passes; timestamps shift forward each pass (0 = loop forever)")
 	flag.Parse()
 
-	if err := run(*tracePath, *addr, *proto, *speedup, *rate, *limit, *loop); err != nil {
+	if err := run(*tracePath, *scenPath, *addr, *proto, *speedup, *rate, *limit, *loop); err != nil {
 		fmt.Fprintln(os.Stderr, "replaylog:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, addr, proto string, speedup, rate float64, limit, loop int) error {
+// loadMessages reads the trace from disk, or synthesizes it from a
+// scenario spec when scenPath is set.
+func loadMessages(tracePath, scenPath string) ([]logfmt.Message, error) {
+	if scenPath != "" {
+		spec, err := scenario.LoadFile(scenPath)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := spec.GenerateTrace()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("generated %d messages from scenario %q (seed %d)\n",
+			len(tr.Messages), spec.Name, spec.Seed)
+		return tr.Messages, nil
+	}
 	f, err := os.Open(tracePath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
-	msgs, err := logfmt.NewReader(f).ReadAll()
+	return logfmt.NewReader(f).ReadAll()
+}
+
+func run(tracePath, scenPath, addr, proto string, speedup, rate float64, limit, loop int) error {
+	msgs, err := loadMessages(tracePath, scenPath)
 	if err != nil {
 		return err
 	}
@@ -57,7 +85,11 @@ func run(tracePath, addr, proto string, speedup, rate float64, limit, loop int) 
 		msgs = msgs[:limit]
 	}
 	if len(msgs) == 0 {
-		return fmt.Errorf("no messages in %s", tracePath)
+		src := tracePath
+		if scenPath != "" {
+			src = scenPath
+		}
+		return fmt.Errorf("no messages in %s", src)
 	}
 
 	conn, err := net.Dial(proto, addr)

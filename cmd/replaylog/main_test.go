@@ -55,7 +55,7 @@ func TestLoopShiftsTimestamps(t *testing.T) {
 
 	const loops = 3
 	done := make(chan error, 1)
-	go func() { done <- run(trace, pc.LocalAddr().String(), "udp", 0, 0, 0, loops) }()
+	go func() { done <- run(trace, "", pc.LocalAddr().String(), "udp", 0, 0, 0, loops) }()
 
 	var got []logfmt.Message
 	buf := make([]byte, 64*1024)
@@ -82,6 +82,41 @@ func TestLoopShiftsTimestamps(t *testing.T) {
 	// The second pass starts a full span after the first, not at the seam.
 	if !got[len(msgs)].Time.After(got[len(msgs)-1].Time) {
 		t.Fatalf("pass 2 did not shift: %v vs %v", got[len(msgs)].Time, got[len(msgs)-1].Time)
+	}
+}
+
+// TestScenarioSource: -scenario synthesizes the trace from a scenario
+// spec instead of a JSONL file, deterministically under its seed.
+func TestScenarioSource(t *testing.T) {
+	doc := `
+name: replay-source
+seed: 9
+fleet:
+  vpes: 3
+  months: 2
+  start: 2017-01-01
+  base_rate_per_hour: 0.5
+  mean_fault_gap_hours: 2000
+train:
+  months: 1
+`
+	path := filepath.Join(t.TempDir(), "scen.yaml")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := loadMessages("", path)
+	if err != nil {
+		t.Fatalf("loadMessages: %v", err)
+	}
+	if len(a) == 0 {
+		t.Fatal("scenario produced no messages")
+	}
+	b, err := loadMessages("", path)
+	if err != nil {
+		t.Fatalf("loadMessages (second): %v", err)
+	}
+	if len(a) != len(b) || !a[0].Time.Equal(b[0].Time) || a[len(a)-1].Text != b[len(b)-1].Text {
+		t.Fatalf("scenario trace not deterministic: %d vs %d messages", len(a), len(b))
 	}
 }
 
@@ -113,7 +148,7 @@ func TestRatePacing(t *testing.T) {
 	}()
 
 	start := time.Now()
-	if err := run(trace, pc.LocalAddr().String(), "udp", 0, 40, 0, 1); err != nil {
+	if err := run(trace, "", pc.LocalAddr().String(), "udp", 0, 40, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {

@@ -7,6 +7,7 @@
 package figures
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -271,6 +272,24 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// Summary runs the operating-point pipeline once and emits the
+// evaluator's JSON summary (warnings, FAR, per-ticket lead times) — the
+// same eval.Summary shape the scenario harness asserts against, so
+// figures output and scenario reports can never disagree on a number.
+func Summary(w io.Writer, ds *pipeline.Dataset, cfg pipeline.Config) (*eval.Summary, error) {
+	res, err := pipeline.Run(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := res.Outcome.Summary()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }
 
 // Fig5 runs the full LSTM system once and prints PRCs for 1 h / 1 day /

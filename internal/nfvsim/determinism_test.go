@@ -1,0 +1,147 @@
+package nfvsim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"nfvpredict/internal/logfmt"
+	"nfvpredict/internal/ticket"
+)
+
+// encodeTrace renders a trace to bytes: every message in JSONL wire form
+// plus every ticket field — the byte-level identity the scenario runner's
+// reproducibility contract rests on.
+func encodeTrace(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := logfmt.NewWriter(&buf)
+	for i := range tr.Messages {
+		if err := w.Write(&tr.Messages[i]); err != nil {
+			t.Fatalf("encoding message: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for _, tk := range tr.Tickets {
+		fmt.Fprintf(&buf, "%d|%s|%s|%s|%s|%d\n",
+			tk.ID, tk.VPE, tk.Cause,
+			tk.Report.Format(time.RFC3339Nano), tk.Repair.Format(time.RFC3339Nano),
+			tk.DuplicateOf)
+	}
+	return buf.Bytes()
+}
+
+func generateBytes(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tr, err := d.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return encodeTrace(t, tr)
+}
+
+// TestDeterministicTrace is the determinism regression test: the same
+// Config (same seed) must produce byte-identical rendered traces and
+// ticket stores across two independent runs — once for the base
+// configuration and once with scenario injections enabled.
+func TestDeterministicTrace(t *testing.T) {
+	base := TestConfig()
+	base.Seed = 99
+
+	withInj := base
+	withInj.Injections = []Injection{
+		{At: base.Start.Add(200 * time.Hour), Kind: InjectFault, Cause: ticket.Circuit, Fraction: 0.5, Duration: 2 * time.Hour},
+		{At: base.Start.Add(400 * time.Hour), Kind: InjectBurst, VPEs: []string{"vpe01"}, Messages: 5, Repeat: 3, Every: 2 * time.Hour},
+		{At: base.Start.Add(600 * time.Hour), Kind: InjectFault, Cause: ticket.Hardware, VPEs: []string{"vpe03"}, Duplicates: 3, Duration: 24 * time.Hour},
+	}
+
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"base", base},
+		{"injected", withInj},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := generateBytes(t, tc.cfg)
+			b := generateBytes(t, tc.cfg)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("two runs of the same config diverged (%d vs %d bytes)", len(a), len(b))
+			}
+		})
+	}
+}
+
+// TestInjectionsLeaveBaseTraceUnchanged proves the private-RNG contract:
+// adding injections only adds messages and tickets — every base message
+// and base ticket is still present, bit for bit.
+func TestInjectionsLeaveBaseTraceUnchanged(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Seed = 7
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTr, err := d.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := cfg
+	inj.Injections = []Injection{
+		{At: cfg.Start.Add(300 * time.Hour), Kind: InjectFault, Cause: ticket.Software, Fraction: 0.4},
+		{At: cfg.Start.Add(500 * time.Hour), Kind: InjectBurst, Fraction: 0.3, Messages: 4},
+	}
+	d2, err := New(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injTr, err := d2.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(injTr.Messages) <= len(baseTr.Messages) {
+		t.Fatalf("injections added no messages: %d vs %d", len(injTr.Messages), len(baseTr.Messages))
+	}
+	if len(injTr.Tickets) <= len(baseTr.Tickets) {
+		t.Fatalf("injections added no tickets: %d vs %d", len(injTr.Tickets), len(baseTr.Tickets))
+	}
+
+	key := func(m *logfmt.Message) string {
+		return m.Time.Format(time.RFC3339Nano) + "|" + m.Host + "|" + m.Text
+	}
+	have := make(map[string]int, len(injTr.Messages))
+	for i := range injTr.Messages {
+		have[key(&injTr.Messages[i])]++
+	}
+	for i := range baseTr.Messages {
+		k := key(&baseTr.Messages[i])
+		if have[k] == 0 {
+			t.Fatalf("base message missing from injected trace: %s", k)
+		}
+		have[k]--
+	}
+
+	tkey := func(tk *ticket.Ticket) string {
+		return fmt.Sprintf("%s|%s|%s|%s", tk.VPE, tk.Cause, tk.Report.Format(time.RFC3339Nano), tk.Repair.Format(time.RFC3339Nano))
+	}
+	haveT := make(map[string]int, len(injTr.Tickets))
+	for i := range injTr.Tickets {
+		haveT[tkey(&injTr.Tickets[i])]++
+	}
+	for i := range baseTr.Tickets {
+		k := tkey(&baseTr.Tickets[i])
+		if haveT[k] == 0 {
+			t.Fatalf("base ticket missing from injected trace: %s", k)
+		}
+		haveT[k]--
+	}
+}

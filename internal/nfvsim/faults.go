@@ -17,6 +17,13 @@ type episode struct {
 	report  time.Time // ticket report time R
 	repair  time.Time // repair finish
 	tickets []episodeTicket
+	// rng, when non-nil, renders this episode from a private stream
+	// instead of the vPE's (scenario injections: the base trace must not
+	// shift when an injection is added).
+	rng *rand.Rand
+	// burst > 0 marks a ticketless omen burst of that many messages at
+	// report time (InjectBurst) — no error burst, no infected period.
+	burst int
 }
 
 // episodeTicket carries a ticket plus simulator-local linkage keys used to
@@ -273,8 +280,27 @@ func poisson(r *rand.Rand, mean float64) int {
 func (d *Deployment) renderEpisode(ep *episode) []logfmt.Message {
 	v := ep.vpe
 	r := v.rng
+	if ep.rng != nil {
+		r = ep.rng
+	}
 	cal := calibration[ep.cause]
 	var msgs []logfmt.Message
+
+	if ep.burst > 0 {
+		// Ticketless injected burst: omen-family messages seconds apart,
+		// exactly the footprint of a benign flap.
+		fams := FamiliesByCause(d.fams, ClassOmen, ep.cause)
+		if len(fams) == 0 {
+			fams = FamiliesByClass(d.fams, ClassOmen)
+		}
+		t := ep.report
+		for k := 0; k < ep.burst; k++ {
+			fi := fams[r.Intn(len(fams))]
+			msgs = append(msgs, d.renderWith(v, r, fi, t))
+			t = t.Add(time.Duration(5+r.Intn(30)) * time.Second)
+		}
+		return msgs
+	}
 
 	if ep.cause == ticket.Maintenance {
 		// Maintenance windows log config/package activity from slightly
@@ -283,7 +309,7 @@ func (d *Deployment) renderEpisode(ep *episode) []logfmt.Message {
 		t := ep.report.Add(-time.Duration(r.Intn(10)) * time.Minute)
 		for t.Before(ep.repair) {
 			fi := maintFams[r.Intn(len(maintFams))]
-			msgs = append(msgs, d.render(v, fi, t))
+			msgs = append(msgs, d.renderWith(v, r, fi, t))
 			t = t.Add(time.Duration(2+r.Intn(10)) * time.Minute)
 		}
 		return msgs
@@ -311,7 +337,7 @@ func (d *Deployment) renderEpisode(ep *episode) []logfmt.Message {
 		t := ep.report.Add(-lead)
 		for k := 0; k < burstLen; k++ {
 			fi := omenFams[r.Intn(len(omenFams))]
-			msgs = append(msgs, d.render(v, fi, t))
+			msgs = append(msgs, d.renderWith(v, r, fi, t))
 			t = t.Add(time.Duration(5+r.Intn(40)) * time.Second)
 		}
 	}
@@ -322,7 +348,7 @@ func (d *Deployment) renderEpisode(ep *episode) []logfmt.Message {
 		burstLen := 3 + poisson(r, 3)
 		for k := 0; k < burstLen; k++ {
 			fi := errFams[r.Intn(len(errFams))]
-			msgs = append(msgs, d.render(v, fi, t))
+			msgs = append(msgs, d.renderWith(v, r, fi, t))
 			t = t.Add(time.Duration(2+r.Intn(30)) * time.Second)
 		}
 	}
@@ -332,7 +358,7 @@ func (d *Deployment) renderEpisode(ep *episode) []logfmt.Message {
 	for t.Before(ep.repair) {
 		if len(errFams) > 0 && r.Float64() < 0.7 {
 			fi := errFams[r.Intn(len(errFams))]
-			msgs = append(msgs, d.render(v, fi, t))
+			msgs = append(msgs, d.renderWith(v, r, fi, t))
 		}
 		t = t.Add(time.Duration(20+r.Intn(60)) * time.Minute)
 	}

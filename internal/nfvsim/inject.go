@@ -1,0 +1,236 @@
+package nfvsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nfvpredict/internal/ticket"
+)
+
+// InjectionKind selects what a scenario-driven injection produces.
+type InjectionKind int
+
+const (
+	// InjectFault produces a full fault episode on each target vPE: a
+	// ticket (plus optional duplicates) with the cause's calibrated omen
+	// and error bursts around the report time.
+	InjectFault InjectionKind = iota
+	// InjectBurst produces a ticketless anomaly burst — omen-family
+	// messages with no associated ticket, the shape of a benign flap or
+	// an unexplained glitch.
+	InjectBurst
+)
+
+// String names the kind for error messages and reports.
+func (k InjectionKind) String() string {
+	switch k {
+	case InjectFault:
+		return "fault"
+	case InjectBurst:
+		return "burst"
+	default:
+		return fmt.Sprintf("InjectionKind(%d)", int(k))
+	}
+}
+
+// Injection is one scheduled scenario event. Injections are rendered from
+// a private per-injection RNG stream, so adding or removing one never
+// perturbs the base trace: the same Config minus its Injections generates
+// byte-identical background traffic.
+type Injection struct {
+	// At is the first occurrence time (trace time).
+	At time.Time
+	// Kind selects fault episodes or ticketless bursts.
+	Kind InjectionKind
+	// Cause is the fault root cause (InjectFault: one of Circuit,
+	// Software, Cable, Hardware; InjectBurst: the omen family to draw
+	// from, defaulting to Software's generic protocol trouble).
+	Cause ticket.RootCause
+	// VPEs lists explicit target hostnames. Empty means select by
+	// Fraction instead.
+	VPEs []string
+	// Fraction selects ceil(Fraction×fleet) targets deterministically
+	// when VPEs is empty; 0 targets a single vPE.
+	Fraction float64
+	// Duration overrides the infected-period length (InjectFault);
+	// 0 draws from the cause's calibration.
+	Duration time.Duration
+	// Duplicates appends this many duplicate tickets per injected fault.
+	Duplicates int
+	// Messages is the burst length (InjectBurst); 0 means 3.
+	Messages int
+	// Repeat replays the injection this many times (0 and 1 both mean
+	// once) — a flapping vPE is one burst injection with Repeat high.
+	Repeat int
+	// Every is the gap between repeats; 0 means 1 hour.
+	Every time.Duration
+}
+
+// validateInjections checks every injection against the fleet.
+func (c *Config) validateInjections() error {
+	valid := make(map[string]bool, c.NumVPEs)
+	for i := 0; i < c.NumVPEs; i++ {
+		valid[fmt.Sprintf("vpe%02d", i)] = true
+	}
+	for i := range c.Injections {
+		inj := &c.Injections[i]
+		switch {
+		case inj.At.IsZero():
+			return fmt.Errorf("nfvsim: injection %d: At must be set", i)
+		case inj.Kind != InjectFault && inj.Kind != InjectBurst:
+			return fmt.Errorf("nfvsim: injection %d: unknown kind %d", i, int(inj.Kind))
+		case inj.Fraction < 0 || inj.Fraction > 1:
+			return fmt.Errorf("nfvsim: injection %d: Fraction must be in [0,1], got %v", i, inj.Fraction)
+		case inj.Duplicates < 0:
+			return fmt.Errorf("nfvsim: injection %d: Duplicates must be ≥ 0", i)
+		case inj.Repeat < 0:
+			return fmt.Errorf("nfvsim: injection %d: Repeat must be ≥ 0", i)
+		}
+		if inj.Kind == InjectFault {
+			switch inj.Cause {
+			case ticket.Circuit, ticket.Software, ticket.Cable, ticket.Hardware:
+			default:
+				return fmt.Errorf("nfvsim: injection %d: fault cause must be Circuit/Software/Cable/Hardware, got %s", i, inj.Cause)
+			}
+		}
+		for _, name := range inj.VPEs {
+			if !valid[name] {
+				return fmt.Errorf("nfvsim: injection %d: unknown vPE %q (fleet has %d vPEs)", i, name, c.NumVPEs)
+			}
+		}
+	}
+	return nil
+}
+
+// scheduleInjections turns Config.Injections into episodes. Each injection
+// owns a seeded RNG derived from (Seed, index), and every episode carries
+// that RNG so rendering never touches the per-vPE streams.
+func (d *Deployment) scheduleInjections() []episode {
+	cfg := &d.cfg
+	if len(cfg.Injections) == 0 {
+		return nil
+	}
+	byName := make(map[string]*vpeState, len(d.vpes))
+	for _, v := range d.vpes {
+		byName[v.name] = v
+	}
+	keyCounter := 1 << 28 // disjoint from per-vPE and core-incident keys
+	nextKey := func() int { keyCounter++; return keyCounter - 1 }
+
+	var eps []episode
+	for i := range cfg.Injections {
+		inj := &cfg.Injections[i]
+		r := rand.New(rand.NewSource(cfg.Seed + 868686 + 999983*int64(i)))
+		targets := d.injectionTargets(inj, byName, r)
+		repeat := inj.Repeat
+		if repeat < 1 {
+			repeat = 1
+		}
+		every := inj.Every
+		if every <= 0 {
+			every = time.Hour
+		}
+		for rep := 0; rep < repeat; rep++ {
+			base := inj.At.Add(time.Duration(rep) * every)
+			for _, v := range targets {
+				// Per-target jitter: a fleet-wide event is a cluster of
+				// reports over tens of minutes, not a single instant.
+				at := base
+				if len(targets) > 1 {
+					at = at.Add(time.Duration(r.Intn(30)) * time.Minute)
+				}
+				if !at.After(cfg.Start) || !at.Before(cfg.End()) {
+					continue
+				}
+				switch inj.Kind {
+				case InjectFault:
+					eps = append(eps, d.makeInjectedFault(v, inj, at, nextKey, r))
+				case InjectBurst:
+					n := inj.Messages
+					if n < 2 {
+						n = 3
+					}
+					cause := inj.Cause
+					if cause == ticket.Maintenance || cause == ticket.Duplicate {
+						cause = ticket.Software
+					}
+					eps = append(eps, episode{vpe: v, cause: cause, report: at, repair: at, burst: n, rng: r})
+				}
+			}
+		}
+	}
+	return eps
+}
+
+// injectionTargets resolves an injection's target set: explicit names, or
+// a deterministic Fraction-sized sample of the fleet.
+func (d *Deployment) injectionTargets(inj *Injection, byName map[string]*vpeState, r *rand.Rand) []*vpeState {
+	if len(inj.VPEs) > 0 {
+		out := make([]*vpeState, 0, len(inj.VPEs))
+		for _, name := range inj.VPEs {
+			if v := byName[name]; v != nil {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	n := int(math.Ceil(inj.Fraction * float64(len(d.vpes))))
+	if n < 1 {
+		n = 1
+	}
+	if n > len(d.vpes) {
+		n = len(d.vpes)
+	}
+	idx := r.Perm(len(d.vpes))[:n]
+	sort.Ints(idx)
+	out := make([]*vpeState, 0, n)
+	for _, i := range idx {
+		out = append(out, d.vpes[i])
+	}
+	return out
+}
+
+// makeInjectedFault builds a fault episode with explicit duration and
+// duplicate-count control, rendered from the injection's private RNG.
+func (d *Deployment) makeInjectedFault(v *vpeState, inj *Injection, report time.Time, nextKey func() int, r *rand.Rand) episode {
+	cal := calibration[inj.Cause]
+	dur := inj.Duration
+	if dur <= 0 {
+		dur = cal.minDur + time.Duration(r.Float64()*float64(cal.maxDur-cal.minDur))
+	}
+	repair := report.Add(dur)
+	ep := episode{vpe: v, cause: inj.Cause, report: report, repair: repair, rng: r}
+	origKey := nextKey()
+	ep.tickets = []episodeTicket{{
+		t:        ticket.Ticket{VPE: v.name, Cause: inj.Cause, Report: report, Repair: repair},
+		key:      origKey,
+		dupOfKey: -1,
+	}}
+	// Duplicates spread through the infected period while the original
+	// stays unresolved — a duplicate-ticket storm when Duplicates is high.
+	for k := 0; k < inj.Duplicates; k++ {
+		frac := float64(k+1) / float64(inj.Duplicates+1)
+		dt := report.Add(time.Duration(frac*float64(dur)) + time.Duration(r.Intn(5))*time.Minute)
+		if !dt.Before(repair) {
+			dt = repair.Add(-time.Minute)
+		}
+		if !dt.After(report) {
+			continue
+		}
+		dcal := calibration[ticket.Duplicate]
+		ddur := dcal.minDur + time.Duration(r.Float64()*float64(dcal.maxDur-dcal.minDur))
+		drep := dt.Add(ddur)
+		if drep.After(repair) {
+			drep = repair
+		}
+		ep.tickets = append(ep.tickets, episodeTicket{
+			t:        ticket.Ticket{VPE: v.name, Cause: ticket.Duplicate, Report: dt, Repair: drep},
+			key:      nextKey(),
+			dupOfKey: origKey,
+		})
+	}
+	return ep
+}

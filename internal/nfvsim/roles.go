@@ -287,8 +287,15 @@ func (d *Deployment) generateNormal(v *vpeState) []logfmt.Message {
 	return msgs
 }
 
-// render instantiates one message of family fi at time t.
+// render instantiates one message of family fi at time t from the vPE's
+// own RNG stream.
 func (d *Deployment) render(v *vpeState, fi int, t time.Time) logfmt.Message {
+	return d.renderWith(v, v.rng, fi, t)
+}
+
+// renderWith is render with an explicit RNG: injected episodes pass their
+// private stream so text rendering never advances the vPE's.
+func (d *Deployment) renderWith(v *vpeState, r *rand.Rand, fi int, t time.Time) logfmt.Message {
 	f := &d.fams[fi]
 	return logfmt.Message{
 		Time:     t,
@@ -296,7 +303,7 @@ func (d *Deployment) render(v *vpeState, fi int, t time.Time) logfmt.Message {
 		Facility: f.Facility,
 		Severity: f.Severity,
 		Tag:      f.Tag,
-		Text:     f.Render(v.rng),
+		Text:     f.Render(r),
 	}
 }
 

@@ -58,6 +58,12 @@ type Config struct {
 	// point's precision below 1 (the paper lands at P≈0.80 with 0.6
 	// false alarms/day, §5.2).
 	GlitchesPerDay float64
+	// Injections appends scenario-driven events (timed fault episodes,
+	// ticket storms, benign bursts) on top of the background schedule.
+	// Each injection renders from its own seeded RNG, so the base trace
+	// is byte-identical with or without it — the scenario harness's
+	// reproducibility contract.
+	Injections []Injection
 }
 
 // DefaultConfig mirrors the paper's deployment scale: 38 vPEs over 18
@@ -117,7 +123,7 @@ func (c *Config) Validate() error {
 	case c.UpdateFraction < 0 || c.UpdateFraction > 1:
 		return fmt.Errorf("nfvsim: UpdateFraction must be in [0,1], got %v", c.UpdateFraction)
 	}
-	return nil
+	return c.validateInjections()
 }
 
 // End returns the first instant after the trace horizon.
@@ -301,8 +307,10 @@ func (d *Deployment) Generate() (*Trace, error) {
 	// 1. Schedule fault episodes and maintenance per vPE.
 	episodes := d.scheduleEpisodes()
 
-	// 2. Fleet-wide core incidents.
+	// 2. Fleet-wide core incidents, then scenario-driven injections
+	// (rendered from private RNGs; see Injection).
 	episodes = append(episodes, d.scheduleCoreIncidents()...)
+	episodes = append(episodes, d.scheduleInjections()...)
 
 	// 3. Render episode syslog + tickets.
 	var msgs []logfmt.Message

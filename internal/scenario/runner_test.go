@@ -1,0 +1,208 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nfvpredict/internal/logfmt"
+)
+
+// e2eDoc is a compact full-stack scenario: a small fleet, an injected
+// regional fault plus a ticketless burst, a chaos panic, a checkpoint
+// parity probe, and a degrade excursion. Tuned to run in seconds.
+const e2eDoc = `
+name: e2e-test
+description: runner end-to-end exercise
+seed: 11
+fleet:
+  vpes: 4
+  months: 2
+  start: 2017-01-01
+  base_rate_per_hour: 1.0
+  mean_fault_gap_hours: 2000
+train:
+  months: 1
+  epochs: 2
+  max_vocab: 32
+serve:
+  shards: 2
+  threshold: 5
+  admin: true
+timeline:
+  - at: 38d
+    fault:
+      cause: circuit
+      fraction: 0.5
+      duration: 3h
+      duplicates: 1
+  - at: 42d
+    burst:
+      vpes: vpe01
+      messages: 6
+  - at: 45d
+    chaos:
+      point: shard.score
+      mode: panic
+      count: 1
+  - at: 50d
+    checkpoint:
+  - at: 54d
+    degrade:
+      mode: shed-learning
+  - at: 55d
+    degrade:
+      mode: normal
+assert:
+  min_warnings: 1
+  checkpoint_parity: true
+  chaos:
+    - point: shard.score
+      min_fired: 1
+  metrics:
+    - name: serve_received
+      min: 1000
+`
+
+func TestRunnerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack scenario run")
+	}
+	spec, err := Load([]byte(e2eDoc))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	dump := filepath.Join(t.TempDir(), "trace.jsonl")
+	var statusBody []byte
+	rep, err := Run(spec, Options{
+		DumpTrace: dump,
+		AdminUp: func(addr net.Addr) {
+			resp, aerr := http.Get(fmt.Sprintf("http://%s/statusz", addr))
+			if aerr != nil {
+				t.Errorf("statusz: %v", aerr)
+				return
+			}
+			defer resp.Body.Close()
+			statusBody, _ = io.ReadAll(resp.Body)
+		},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !rep.Passed {
+		t.Fatalf("scenario failed: %+v", rep.Assertions)
+	}
+	if rep.Sim.Injections != 2 {
+		t.Fatalf("injections %d, want 2", rep.Sim.Injections)
+	}
+	if rep.Serve.Received == 0 || rep.Serve.Messages == 0 {
+		t.Fatalf("nothing served: %+v", rep.Serve)
+	}
+	if rep.Serve.Malformed != 0 || rep.Serve.ShardDropped != 0 {
+		t.Fatalf("lossy serve: %+v", rep.Serve)
+	}
+	if rep.Serve.CheckpointSaves != 1 || !rep.Serve.CheckpointParity {
+		t.Fatalf("checkpoint: %+v", rep.Serve)
+	}
+	if rep.Eval == nil || rep.Eval.Warnings < 1 {
+		t.Fatalf("eval: %+v", rep.Eval)
+	}
+	if len(rep.Events) != 4 {
+		t.Fatalf("runner events %d, want 4 (chaos, checkpoint, 2 degrade): %+v", len(rep.Events), rep.Events)
+	}
+	// /statusz carried the scenario metadata while the run was live.
+	var status struct {
+		Scenario string `json:"scenario"`
+		Phase    string `json:"phase"`
+	}
+	if err := json.Unmarshal(statusBody, &status); err != nil {
+		t.Fatalf("statusz decode: %v (%s)", err, statusBody)
+	}
+	if status.Scenario != "e2e-test" || status.Phase != "serve" {
+		t.Fatalf("statusz metadata: %+v", status)
+	}
+	// The dumped trace is replaylog's input format.
+	f, err := os.Open(dump)
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	defer f.Close()
+	msgs, err := logfmt.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("dump read: %v", err)
+	}
+	if len(msgs) != rep.Sim.Messages {
+		t.Fatalf("dump has %d messages, trace had %d", len(msgs), rep.Sim.Messages)
+	}
+	// The report is the -json surface: it must round-trip.
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report marshal: %v", err)
+	}
+	if !strings.Contains(string(b), `"scenario":"e2e-test"`) {
+		t.Fatalf("report JSON missing name: %s", b)
+	}
+}
+
+// determinismDoc avoids chaos faults (panics can eat in-flight batches)
+// and the lifecycle (spool interleaving varies) so two runs must agree on
+// every eval number.
+const determinismDoc = `
+name: determinism-test
+seed: 23
+fleet:
+  vpes: 4
+  months: 2
+  start: 2017-01-01
+  base_rate_per_hour: 1.0
+  mean_fault_gap_hours: 2000
+train:
+  months: 1
+  epochs: 2
+  max_vocab: 32
+serve:
+  shards: 3
+  threshold: 5
+timeline:
+  - at: 40d
+    fault:
+      cause: software
+      fraction: 0.5
+      duration: 2h
+assert:
+  min_warnings: 1
+`
+
+func TestRunnerDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack scenario run")
+	}
+	spec, err := Load([]byte(determinismDoc))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	run := func() string {
+		rep, rerr := Run(spec, Options{})
+		if rerr != nil {
+			t.Fatalf("run: %v", rerr)
+		}
+		if !rep.Passed {
+			t.Fatalf("scenario failed: %+v", rep.Assertions)
+		}
+		b, merr := json.Marshal(rep.Eval)
+		if merr != nil {
+			t.Fatalf("marshal: %v", merr)
+		}
+		return string(b)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("eval summaries diverge across identical runs:\n%s\n%s", a, b)
+	}
+}
